@@ -1,0 +1,31 @@
+"""Ablation: CR two-phase intermediate selection — random (the paper's
+choice, which spreads load like ROMM) versus deterministic first-candidate
+(cheaper to implement, but concentrates two-phase traffic on fixed columns).
+"""
+
+import dataclasses
+
+from common import bench_profiles, fmt_pct, once, report, run_design
+from repro.core.builder import CP_CR
+from repro.system.metrics import harmonic_mean
+
+CR_FIRST = dataclasses.replace(CP_CR, name="CP-CR-first",
+                               cr_intermediate="first")
+
+
+def _experiment():
+    rows = []
+    rand, first = {}, {}
+    for prof in bench_profiles():
+        rand[prof.abbr] = run_design(prof, CP_CR).ipc
+        first[prof.abbr] = run_design(prof, CR_FIRST).ipc
+        rows.append(f"{prof.abbr:4s} deterministic-vs-random = "
+                    f"{fmt_pct(first[prof.abbr]/rand[prof.abbr]-1)}")
+    hm = harmonic_mean(list(first.values())) / \
+        harmonic_mean(list(rand.values())) - 1
+    rows.append(f"HM impact of deterministic intermediates = {fmt_pct(hm)}")
+    return rows
+
+
+def test_ablation_cr_intermediate(benchmark):
+    report("ablation_cr_intermediate", once(benchmark, _experiment))

@@ -1,0 +1,38 @@
+"""Ablation: half-router pipeline depth.
+
+The paper models half-routers with a 3-stage pipeline and reports that one
+stage more or less made a negligible difference (Section V-A).  This bench
+verifies that on our reproduction."""
+
+import dataclasses
+
+from common import bench_profiles, fmt_pct, once, report, run_design
+from repro.core.builder import CP_CR
+from repro.system.metrics import harmonic_mean
+
+CR_4STAGE = dataclasses.replace(CP_CR, name="CP-CR-half4",
+                                half_router_latency=4)
+CR_2STAGE = dataclasses.replace(CP_CR, name="CP-CR-half2",
+                                half_router_latency=2)
+
+
+def _experiment():
+    rows = []
+    base, slow, fast = {}, {}, {}
+    for prof in bench_profiles():
+        base[prof.abbr] = run_design(prof, CP_CR).ipc
+        slow[prof.abbr] = run_design(prof, CR_4STAGE).ipc
+        fast[prof.abbr] = run_design(prof, CR_2STAGE).ipc
+    hm_base = harmonic_mean(list(base.values()))
+    hm_slow = harmonic_mean(list(slow.values())) / hm_base - 1
+    hm_fast = harmonic_mean(list(fast.values())) / hm_base - 1
+    rows.append(f"HM vs 3-stage half-routers: 4-stage {fmt_pct(hm_slow)}, "
+                f"2-stage {fmt_pct(hm_fast)}")
+    rows.append("(paper: performance impact of one less stage was "
+                "negligible)")
+    assert abs(hm_slow) < 0.05 and abs(hm_fast) < 0.05
+    return rows
+
+
+def test_ablation_half_router_pipeline(benchmark):
+    report("ablation_half_router_pipeline", once(benchmark, _experiment))

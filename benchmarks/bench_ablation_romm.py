@@ -1,0 +1,36 @@
+"""Ablation: checkerboard routing versus ROMM (Section VI).
+
+CR is "similar to 2-phase ROMM" but restricts the intermediate to a
+full-router and runs on the cheaper checkerboard mesh.  This bench compares
+CP-CR (half-routers) against CP-ROMM (same VC budget, full routers
+everywhere): similar performance at ~14 % more router area is the expected
+outcome."""
+
+from common import bench_profiles, fmt_pct, once, report, run_design
+from repro.area.chip import design_noc_area
+from repro.core.builder import CP_CR, CP_ROMM
+from repro.system.metrics import harmonic_mean
+
+
+def _experiment():
+    rows = []
+    cr, romm = {}, {}
+    for prof in bench_profiles():
+        cr[prof.abbr] = run_design(prof, CP_CR).ipc
+        romm[prof.abbr] = run_design(prof, CP_ROMM).ipc
+        rows.append(f"{prof.abbr:4s} ROMM-vs-CR = "
+                    f"{fmt_pct(romm[prof.abbr]/cr[prof.abbr]-1)}")
+    hm = harmonic_mean(list(romm.values())) / \
+        harmonic_mean(list(cr.values())) - 1
+    area_cr = design_noc_area(CP_CR).router_sum
+    area_romm = design_noc_area(CP_ROMM).router_sum
+    rows.append(f"HM: ROMM vs CR = {fmt_pct(hm)}; router area "
+                f"{area_romm:.1f} vs {area_cr:.1f} mm2 "
+                f"({fmt_pct(area_romm/area_cr-1)})")
+    rows.append("(CR trades full-router flexibility it does not need for "
+                "a large area saving)")
+    return rows
+
+
+def test_ablation_romm(benchmark):
+    report("ablation_romm", once(benchmark, _experiment))

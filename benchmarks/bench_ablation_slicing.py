@@ -1,0 +1,47 @@
+"""Ablation: dedicated versus balanced channel slicing.
+
+Section IV-C describes a *dedicated* double network (one slice per traffic
+class).  With read replies carrying ~8x the request bytes, dedicating one
+half-width slice to replies halves the usable reply-path bandwidth; the
+balanced variant (both slices carry both classes, packets split
+round-robin) preserves it.  This ablation quantifies that difference —
+it is why the named double designs default to balanced slicing (DESIGN.md)."""
+
+from common import bench_profiles, fmt_pct, once, report, run_design
+from repro.core.builder import CP_CR, DOUBLE_CP_CR, DOUBLE_CP_CR_DEDICATED
+from repro.system.metrics import harmonic_mean
+from repro.workloads.profiles import GROUPS
+
+
+def _experiment():
+    rows = []
+    single, balanced, dedicated = {}, {}, {}
+    profiles = bench_profiles()
+    for prof in profiles:
+        single[prof.abbr] = run_design(prof, CP_CR).ipc
+        balanced[prof.abbr] = run_design(prof, DOUBLE_CP_CR).ipc
+        dedicated[prof.abbr] = run_design(prof, DOUBLE_CP_CR_DEDICATED).ipc
+        rows.append(
+            f"{prof.abbr:4s} balanced={fmt_pct(balanced[prof.abbr]/single[prof.abbr]-1)} "
+            f"dedicated={fmt_pct(dedicated[prof.abbr]/single[prof.abbr]-1)} "
+            f"vs single 16B ({prof.expected_group})")
+    hm_single = harmonic_mean(list(single.values()))
+    rows.append(f"HM vs single: balanced "
+                f"{fmt_pct(harmonic_mean(list(balanced.values()))/hm_single-1)}, "
+                f"dedicated "
+                f"{fmt_pct(harmonic_mean(list(dedicated.values()))/hm_single-1)}")
+    hh = [p.abbr for p in profiles if p.expected_group == "HH"]
+    if hh:
+        hm_hh = harmonic_mean([single[a] for a in hh])
+        rows.append(
+            f"HM (HH only): balanced "
+            f"{fmt_pct(harmonic_mean([balanced[a] for a in hh])/hm_hh-1)}, "
+            f"dedicated "
+            f"{fmt_pct(harmonic_mean([dedicated[a] for a in hh])/hm_hh-1)}")
+    rows.append("(dedicated slicing throttles the byte-dominant reply "
+                "class; balanced keeps Figure 18 ~neutral)")
+    return rows
+
+
+def test_ablation_slicing(benchmark):
+    report("ablation_slicing", once(benchmark, _experiment))

@@ -1,0 +1,45 @@
+"""Extension: mesh scaling (the paper's motivation is *future* manycore
+accelerators — more cores, the same few MCs).
+
+Scale the chip to an 8x8 mesh (56 compute cores, 8 MCs; the many-to-few
+ratio grows from 3.5 to 7) and compare the baseline against the combined
+throughput-effective design.  The paper's argument predicts the gap to
+*widen* with scale."""
+
+from common import MEASURE, SEED, WARMUP, fmt_pct, once, report
+from repro.core.builder import BASELINE, THROUGHPUT_EFFECTIVE
+from repro.system.accelerator import build_chip
+from repro.system.config import paper_config, scaled_config
+from repro.system.metrics import harmonic_mean
+from repro.workloads.profiles import profile
+
+SCALE_SET = ("RD", "SCP", "KM", "MUM", "CON", "AES")
+
+
+def _hm(config, design):
+    ipcs = []
+    for abbr in SCALE_SET:
+        chip = build_chip(profile(abbr), design=design, config=config,
+                          seed=SEED)
+        ipcs.append(chip.run(WARMUP, MEASURE).ipc)
+    return harmonic_mean(ipcs)
+
+
+def _experiment():
+    rows = []
+    small = paper_config()
+    big = scaled_config(56, 8, 8, 8)
+    for label, config in (("6x6 (28 cores / 8 MCs)", small),
+                          ("8x8 (56 cores / 8 MCs)", big)):
+        base = _hm(config, BASELINE)
+        te = _hm(config, THROUGHPUT_EFFECTIVE)
+        rows.append(f"{label}: baseline HM IPC {base:7.2f}, "
+                    f"throughput-effective {te:7.2f} "
+                    f"({fmt_pct(te/base-1)})")
+    rows.append("(the many-to-few argument predicts the advantage persists "
+                "at scale; compare the two rows)")
+    return rows
+
+
+def test_extension_scaling(benchmark):
+    report("extension_scaling", once(benchmark, _experiment))

@@ -1,0 +1,39 @@
+"""Figure 2: the throughput-effective design space.
+
+For each design point the paper plots average application throughput
+(harmonic-mean IPC) against inverse chip area; IPC/mm² is the figure of
+merit.  Paper points: Balanced Mesh (baseline), 2x BW, Thr.Eff., Ideal NoC.
+Headline: Thr.Eff. improves IPC/mm² by 25.4 % over the balanced mesh."""
+
+from common import bench_profiles, fmt_pct, once, report, run_design, \
+    run_perfect
+from repro.area.chip import compute_area_mm2, design_noc_area
+from repro.core.builder import BASELINE, DOUBLE_BW, THROUGHPUT_EFFECTIVE
+from repro.system.metrics import harmonic_mean
+
+
+def _experiment():
+    profiles = bench_profiles()
+    points = []
+    for design in (BASELINE, DOUBLE_BW, THROUGHPUT_EFFECTIVE):
+        ipc = harmonic_mean([run_design(p, design).ipc for p in profiles])
+        area = design_noc_area(design).total_chip
+        points.append((design.name, ipc, area))
+    ideal_ipc = harmonic_mean([run_perfect(p).ipc for p in profiles])
+    points.append(("Ideal-NoC", ideal_ipc, compute_area_mm2()))
+
+    base_ipc, base_area = points[0][1], points[0][2]
+    rows = [f"{'design':22s} {'HM IPC':>8s} {'area mm2':>9s} "
+            f"{'1/area':>9s} {'IPC/mm2':>8s} {'vs base':>8s}"]
+    for name, ipc, area in points:
+        te = ipc / area
+        gain = te / (base_ipc / base_area) - 1
+        rows.append(f"{name:22s} {ipc:8.2f} {area:9.1f} {1/area:9.6f} "
+                    f"{te:8.4f} {fmt_pct(gain)}")
+    rows.append("(paper: Thr.Eff. +25.4% IPC/mm2 over the balanced mesh; "
+                "2xBW more IPC but worse IPC/mm2)")
+    return rows
+
+
+def test_fig02_design_space(benchmark):
+    report("fig02_design_space", once(benchmark, _experiment))

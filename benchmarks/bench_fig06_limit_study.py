@@ -1,0 +1,35 @@
+"""Figure 6: bandwidth limit study with a zero-latency ideal interconnect.
+
+The paper finds ~93 % of infinite-bandwidth throughput at the baseline
+mesh's bisection (x = 0.816 of DRAM bandwidth) and a throughput-per-area
+optimum around 0.7-0.8."""
+
+from common import MEASURE, SEED, WARMUP, bench_profiles, once, report
+from repro.system.limit_study import BALANCED_FRACTION, run_limit_study
+
+FRACTIONS = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, BALANCED_FRACTION, 1.0, 1.2, 1.6]
+
+
+def _experiment():
+    points = run_limit_study(FRACTIONS, profiles=bench_profiles(),
+                             warmup=WARMUP, measure=MEASURE, seed=SEED)
+    rows = [f"{'fraction':>8s} {'HM IPC':>8s} {'norm thr':>9s} "
+            f"{'area mm2':>9s} {'norm thr/area':>13s}"]
+    for p in points:
+        mark = "  <- balanced mesh (16B channels)" \
+            if abs(p.fraction - BALANCED_FRACTION) < 1e-9 else ""
+        rows.append(f"{p.fraction:8.3f} {p.hm_ipc:8.2f} "
+                    f"{p.normalized_throughput:9.3f} {p.chip_area:9.1f} "
+                    f"{p.normalized_per_area:13.3f}{mark}")
+    best = max(points, key=lambda p: p.normalized_per_area)
+    rows.append(f"throughput/area optimum at fraction {best.fraction:.3f} "
+                "(paper: 0.7-0.8)")
+    balanced = next(p for p in points
+                    if abs(p.fraction - BALANCED_FRACTION) < 1e-9)
+    rows.append(f"normalized throughput at balanced point = "
+                f"{balanced.normalized_throughput:.3f} (paper: 0.93)")
+    return rows
+
+
+def test_fig06_limit_study(benchmark):
+    report("fig06_limit_study", once(benchmark, _experiment))

@@ -1,0 +1,35 @@
+"""Figure 7: speedup of a perfect interconnection network over the baseline
+mesh, with the LL/LH/HH classification of Section III-B.
+
+Paper: HM speedup 36 % over all benchmarks, 87 % over the HH group; every
+benchmark falls into LL, LH or HH (no HL)."""
+
+from common import MEASURE, SEED, WARMUP, bench_profiles, fmt_pct, once, \
+    report
+from repro.core.builder import BASELINE
+from repro.experiments import classify_benchmarks
+
+
+def _experiment():
+    study = classify_benchmarks(BASELINE, profiles=bench_profiles(),
+                                warmup=WARMUP, measure=MEASURE, seed=SEED)
+    rows = []
+    for b in study.benchmarks:
+        rows.append(
+            f"{b.abbr:4s} speedup={fmt_pct(b.perfect_speedup)} "
+            f"traffic={b.traffic_bytes_per_cycle_node:5.2f} B/cyc "
+            f"class={b.measured_group} (paper: {b.expected_group})")
+    rows.append(f"classification agreement with the paper: "
+                f"{study.agreement:.0%}")
+    rows.append(f"HM speedup (all) = {fmt_pct(study.hm_perfect_speedup())}"
+                "   (paper: +36%)")
+    if any(b.expected_group == "HH" for b in study.benchmarks):
+        rows.append(f"HM speedup (HH)  = "
+                    f"{fmt_pct(study.hm_perfect_speedup('HH'))}"
+                    "   (paper: +87%)")
+    return rows
+
+
+def test_fig07_perfect_noc(benchmark):
+    rows = once(benchmark, _experiment)
+    report("fig07_perfect_noc", rows)

@@ -1,0 +1,37 @@
+"""Figure 8: perfect-NoC speedup versus MC injection rate.
+
+The paper observes that speedups correlate with the memory-controller
+injection rate (the MC output bandwidth of Figure 1), pointing at a
+read-reply-path bottleneck."""
+
+import math
+
+from common import bench_profiles, fmt_pct, once, report, run_design, \
+    run_perfect
+from repro.core.builder import BASELINE
+
+
+def _experiment():
+    xs, ys, rows = [], [], []
+    for prof in bench_profiles():
+        base = run_design(prof, BASELINE)
+        perfect = run_perfect(prof)
+        speedup = perfect.ipc / base.ipc - 1
+        rate = perfect.mc_injection_rate_flits
+        xs.append(rate)
+        ys.append(speedup)
+        rows.append(f"{prof.abbr:4s} mc_inj={rate:6.3f} flits/cyc/node  "
+                    f"speedup={fmt_pct(speedup)}  class={prof.expected_group}")
+    n = len(xs)
+    mx, my = sum(xs) / n, sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    sx = math.sqrt(sum((x - mx) ** 2 for x in xs))
+    sy = math.sqrt(sum((y - my) ** 2 for y in ys))
+    corr = cov / (sx * sy) if sx and sy else float("nan")
+    rows.append(f"Pearson correlation(speedup, MC injection rate) = "
+                f"{corr:.3f} (paper: strongly positive)")
+    return rows
+
+
+def test_fig08_injection_correlation(benchmark):
+    report("fig08_injection_correlation", once(benchmark, _experiment))

@@ -1,0 +1,27 @@
+"""Figure 9: scaling network bandwidth versus router latency.
+
+Paper: doubling channel width (16B -> 32B) gives a 27 % HM speedup, while
+replacing 4-cycle routers with aggressive 1-cycle routers gives only 2.3 %."""
+
+from common import MEASURE, SEED, WARMUP, bench_profiles, fmt_pct, once, \
+    report
+from repro.core.builder import BASELINE, DOUBLE_BW, ONE_CYCLE
+from repro.experiments import compare_designs
+
+
+def _experiment():
+    comp = compare_designs([BASELINE, DOUBLE_BW, ONE_CYCLE],
+                           profiles=bench_profiles(),
+                           warmup=WARMUP, measure=MEASURE, seed=SEED)
+    bw = comp.speedups(DOUBLE_BW.name)
+    cyc = comp.speedups(ONE_CYCLE.name)
+    rows = [f"{abbr:4s} 2xBW={fmt_pct(bw[abbr])} "
+            f"1-cycle={fmt_pct(cyc[abbr])}" for abbr in bw]
+    rows.append(f"HM: 2x bandwidth {fmt_pct(comp.hm_speedup(DOUBLE_BW.name))} "
+                f"(paper +27%), 1-cycle routers "
+                f"{fmt_pct(comp.hm_speedup(ONE_CYCLE.name))} (paper +2.3%)")
+    return rows
+
+
+def test_fig09_bandwidth_vs_latency(benchmark):
+    report("fig09_bandwidth_vs_latency", once(benchmark, _experiment))

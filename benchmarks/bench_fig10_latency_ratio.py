@@ -1,0 +1,32 @@
+"""Figure 10: interconnect latency reduction of 1-cycle versus 4-cycle
+routers.
+
+Paper: network latency drops substantially (ratios ~0.5-0.9) yet overall
+performance barely moves (Figure 9) — the workloads are bandwidth-, not
+latency-sensitive."""
+
+from common import bench_profiles, once, report, run_design
+from repro.core.builder import BASELINE, ONE_CYCLE
+
+
+def _experiment():
+    rows = []
+    ratios = []
+    for prof in bench_profiles():
+        slow = run_design(prof, BASELINE)
+        fast = run_design(prof, ONE_CYCLE)
+        if slow.mean_network_latency <= 0:
+            continue
+        ratio = fast.mean_network_latency / slow.mean_network_latency
+        ratios.append(ratio)
+        rows.append(f"{prof.abbr:4s} latency ratio = {ratio:5.2f} "
+                    f"({fast.mean_network_latency:6.1f} / "
+                    f"{slow.mean_network_latency:6.1f} cycles)")
+    rows.append(f"mean ratio = {sum(ratios)/len(ratios):.2f} "
+                "(paper: ~0.5-0.9, all below 1)")
+    assert all(r < 1.05 for r in ratios)
+    return rows
+
+
+def test_fig10_latency_ratio(benchmark):
+    report("fig10_latency_ratio", once(benchmark, _experiment))

@@ -1,0 +1,27 @@
+"""Figure 11: fraction of time the MC injection ports are blocked because
+the reply network cannot accept packets.
+
+Paper: up to ~70 % for some HH benchmarks, near zero for LL."""
+
+from common import bench_profiles, once, report, run_design
+from repro.core.builder import BASELINE
+
+
+def _experiment():
+    rows = []
+    by_group = {"LL": [], "LH": [], "HH": []}
+    for prof in bench_profiles():
+        res = run_design(prof, BASELINE)
+        by_group[prof.expected_group].append(res.mc_stall_fraction)
+        rows.append(f"{prof.abbr:4s} stalled={res.mc_stall_fraction:6.1%} "
+                    f"({prof.expected_group})")
+    for group, vals in by_group.items():
+        if vals:
+            rows.append(f"group {group}: mean stalled = "
+                        f"{sum(vals)/len(vals):6.1%}")
+    rows.append("(paper: HH up to ~70%, LL near zero)")
+    return rows
+
+
+def test_fig11_mc_stall(benchmark):
+    report("fig11_mc_stall", once(benchmark, _experiment))

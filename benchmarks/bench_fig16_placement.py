@@ -1,0 +1,26 @@
+"""Figure 16: checkerboard (staggered) MC placement versus the top-bottom
+baseline, both with DOR routing and 2 VCs.
+
+Paper: HM speedup 13.2 %; LL/LH benchmarks mostly unaffected, HH gain the
+most; WP loses ~6 % to global fairness effects."""
+
+from common import MEASURE, SEED, WARMUP, bench_profiles, fmt_pct, once, \
+    report
+from repro.core.builder import BASELINE, CP_DOR
+from repro.experiments import compare_designs
+from repro.workloads.profiles import BY_ABBR
+
+
+def _experiment():
+    comp = compare_designs([BASELINE, CP_DOR], profiles=bench_profiles(),
+                           warmup=WARMUP, measure=MEASURE, seed=SEED)
+    rows = [f"{abbr:4s} CP speedup = {fmt_pct(speedup)} "
+            f"({BY_ABBR[abbr].expected_group})"
+            for abbr, speedup in comp.speedups(CP_DOR.name).items()]
+    rows.append(f"HM speedup = {fmt_pct(comp.hm_speedup(CP_DOR.name))} "
+                "(paper: +13.2%)")
+    return rows
+
+
+def test_fig16_placement(benchmark):
+    report("fig16_placement", once(benchmark, _experiment))

@@ -1,0 +1,29 @@
+"""Figure 17: checkerboard routing with half-routers versus DOR with full
+routers (all with checkerboard placement).
+
+Paper: relative to CP-DOR with 2 VCs, CP-DOR with 4 VCs is ~neutral and
+CP-CR with 4 VCs (half of the routers being half-routers) costs only ~1.1 %
+on average — while cutting router area by 14 %."""
+
+from common import MEASURE, SEED, WARMUP, bench_profiles, fmt_pct, once, \
+    report
+from repro.core.builder import CP_CR, CP_DOR, CP_DOR_4VC
+from repro.experiments import compare_designs
+
+
+def _experiment():
+    comp = compare_designs([CP_DOR, CP_DOR_4VC, CP_CR],
+                           profiles=bench_profiles(),
+                           warmup=WARMUP, measure=MEASURE, seed=SEED)
+    dor4 = comp.speedups(CP_DOR_4VC.name)
+    cr4 = comp.speedups(CP_CR.name)
+    rows = [f"{abbr:4s} DOR-4VC={1 + dor4[abbr]:6.1%} "
+            f"CR-4VC={1 + cr4[abbr]:6.1%} of CP-DOR-2VC" for abbr in dor4]
+    rows.append(f"HM: CP-DOR-4VC {fmt_pct(comp.hm_speedup(CP_DOR_4VC.name))}, "
+                f"CP-CR-4VC {fmt_pct(comp.hm_speedup(CP_CR.name))} "
+                "(paper: CR costs ~-1.1%)")
+    return rows
+
+
+def test_fig17_checkerboard_routing(benchmark):
+    report("fig17_checkerboard_routing", once(benchmark, _experiment))

@@ -1,0 +1,28 @@
+"""Figure 18: the channel-sliced double network (two 8 B networks, 2 VCs
+each) versus the single 16 B network with 4 VCs (both CP + CR).
+
+Paper: ~no performance change (~+1 % average) with a 2x router-area saving.
+Our reproduction ships two slicing models (see DESIGN.md): the balanced
+double network reproduces the paper's neutrality; the strictly dedicated
+one (one slice per traffic class, as Section IV-C literally describes)
+halves the reply path's usable bandwidth and loses on HH workloads —
+quantified in bench_ablation_slicing."""
+
+from common import MEASURE, SEED, WARMUP, bench_profiles, fmt_pct, once, \
+    report
+from repro.core.builder import CP_CR, DOUBLE_CP_CR
+from repro.experiments import compare_designs
+
+
+def _experiment():
+    comp = compare_designs([CP_CR, DOUBLE_CP_CR], profiles=bench_profiles(),
+                           warmup=WARMUP, measure=MEASURE, seed=SEED)
+    rows = [f"{abbr:4s} double-network speedup = {fmt_pct(speedup)}"
+            for abbr, speedup in comp.speedups(DOUBLE_CP_CR.name).items()]
+    rows.append(f"HM speedup = {fmt_pct(comp.hm_speedup(DOUBLE_CP_CR.name))} "
+                "(paper: ~+1%)")
+    return rows
+
+
+def test_fig18_double_network(benchmark):
+    report("fig18_double_network", once(benchmark, _experiment))

@@ -1,0 +1,47 @@
+"""Figure 19: multi-port MC routers on the double checkerboard network.
+
+Paper: extra injection ports give up to ~20 % (HH benchmarks; the blocked
+time at MC injection drops by 38.5 %), extra ejection ports help only a few
+benchmarks (via FR-FCFS row locality / DRAM efficiency, e.g. FWT 57 % ->
+65 %), and the two effects are roughly additive."""
+
+from common import bench_profiles, fmt_pct, once, report, run_design
+from repro.core.builder import (DOUBLE_CP_CR, DOUBLE_CP_CR_2E,
+                                DOUBLE_CP_CR_2P, DOUBLE_CP_CR_2P2E)
+from repro.system.metrics import harmonic_mean
+
+
+def _experiment():
+    rows = []
+    results = {d.name: {} for d in (DOUBLE_CP_CR, DOUBLE_CP_CR_2P,
+                                    DOUBLE_CP_CR_2E, DOUBLE_CP_CR_2P2E)}
+    stall_base, stall_2p = [], []
+    for prof in bench_profiles():
+        base = run_design(prof, DOUBLE_CP_CR)
+        p2 = run_design(prof, DOUBLE_CP_CR_2P)
+        e2 = run_design(prof, DOUBLE_CP_CR_2E)
+        pe = run_design(prof, DOUBLE_CP_CR_2P2E)
+        results[DOUBLE_CP_CR.name][prof.abbr] = base.ipc
+        results[DOUBLE_CP_CR_2P.name][prof.abbr] = p2.ipc
+        results[DOUBLE_CP_CR_2E.name][prof.abbr] = e2.ipc
+        results[DOUBLE_CP_CR_2P2E.name][prof.abbr] = pe.ipc
+        stall_base.append(base.mc_stall_fraction)
+        stall_2p.append(p2.mc_stall_fraction)
+        rows.append(f"{prof.abbr:4s} 2P={fmt_pct(p2.ipc/base.ipc-1)} "
+                    f"2E={fmt_pct(e2.ipc/base.ipc-1)} "
+                    f"2P2E={fmt_pct(pe.ipc/base.ipc-1)} "
+                    f"dram_eff {base.dram_efficiency:.2f}->"
+                    f"{e2.dram_efficiency:.2f}")
+    hm_base = harmonic_mean(list(results[DOUBLE_CP_CR.name].values()))
+    for design in (DOUBLE_CP_CR_2P, DOUBLE_CP_CR_2E, DOUBLE_CP_CR_2P2E):
+        hm = harmonic_mean(list(results[design.name].values())) / hm_base - 1
+        rows.append(f"HM speedup {design.name}: {fmt_pct(hm)}")
+    mb, m2 = sum(stall_base) / len(stall_base), sum(stall_2p) / len(stall_2p)
+    if mb > 0:
+        rows.append(f"mean MC blocked time: {mb:.1%} -> {m2:.1%} "
+                    f"({(mb-m2)/mb:.1%} reduction; paper: 38.5%)")
+    return rows
+
+
+def test_fig19_multiport(benchmark):
+    report("fig19_multiport", once(benchmark, _experiment))

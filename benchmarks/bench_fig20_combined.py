@@ -1,0 +1,40 @@
+"""Figure 20: the combined throughput-effective design (checkerboard
+placement + checkerboard routing + double network + 2 MC injection ports)
+versus the top-bottom DOR baseline.
+
+Paper: HM speedup 17 % — about half of the 36 % a perfect network achieves
+— while *reducing* NoC area."""
+
+from common import MEASURE, SEED, WARMUP, bench_profiles, fmt_pct, once, \
+    report, run_perfect
+from repro.core.builder import BASELINE, THROUGHPUT_EFFECTIVE
+from repro.experiments import compare_designs
+from repro.system.metrics import harmonic_mean
+
+
+def _experiment():
+    profiles = bench_profiles()
+    comp = compare_designs([BASELINE, THROUGHPUT_EFFECTIVE],
+                           profiles=profiles,
+                           warmup=WARMUP, measure=MEASURE, seed=SEED)
+    perfect = {p.abbr: run_perfect(p).ipc for p in profiles}
+    base = comp.ipc(BASELINE.name)
+    te_speedups = comp.speedups(THROUGHPUT_EFFECTIVE.name)
+    rows = [
+        f"{abbr:4s} thr.eff speedup = {fmt_pct(te_speedups[abbr])} "
+        f"(perfect: {fmt_pct(perfect[abbr] / base[abbr] - 1)})"
+        for abbr in te_speedups
+    ]
+    hm_te = comp.hm_speedup(THROUGHPUT_EFFECTIVE.name)
+    hm_perfect = harmonic_mean(list(perfect.values())) / \
+        harmonic_mean(list(base.values())) - 1
+    rows.append(f"HM speedup: throughput-effective {fmt_pct(hm_te)} "
+                f"(paper +17%), perfect {fmt_pct(hm_perfect)} (paper +36%)")
+    if hm_perfect > 0:
+        rows.append(f"fraction of perfect-network gain captured: "
+                    f"{hm_te / hm_perfect:.0%} (paper: ~half)")
+    return rows
+
+
+def test_fig20_combined(benchmark):
+    report("fig20_combined", once(benchmark, _experiment))

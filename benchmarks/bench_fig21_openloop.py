@@ -1,0 +1,67 @@
+"""Figure 21: open-loop latency versus offered load under many-to-few-to-
+many traffic (uniform and 20 %-hotspot), for TB-DOR, CP-DOR, CP-CR,
+CP-CR-2P and 2x-TB-DOR.
+
+Compute nodes inject 1-flit read requests, MCs answer with 4-flit replies
+(read traffic only), on a single network with two logical (VC) networks.
+Paper: placement (CP) and extra MC injection ports (2P) raise saturation
+throughput; under hotspot traffic the 2P gain dominates."""
+
+import dataclasses
+import os
+
+from common import SEED, once, report
+from repro.core.builder import (BASELINE, CP_CR, CP_DOR, DOUBLE_BW, build,
+                                open_loop_variant)
+from repro.noc.openloop import OpenLoopRunner
+from repro.noc.traffic import HotspotManyToFew, UniformManyToFew
+
+CP_CR_2P = dataclasses.replace(CP_CR, name="CP-CR-2P", mc_inject_ports=2)
+CONFIGS = (BASELINE, CP_DOR, CP_CR, CP_CR_2P, DOUBLE_BW)
+RATES = [float(r) for r in os.environ.get(
+    "REPRO_FIG21_RATES", "0.005,0.015,0.025,0.035,0.045,0.06,0.08").split(",")]
+OL_WARMUP = int(os.environ.get("REPRO_FIG21_WARMUP", "1000"))
+OL_MEASURE = int(os.environ.get("REPRO_FIG21_MEASURE", "3000"))
+
+
+def _curve(design, pattern_factory):
+    points = []
+    for rate in RATES:
+        system = build(open_loop_variant(design), seed=SEED)
+        runner = OpenLoopRunner(system, system.compute_nodes,
+                                system.mc_nodes,
+                                pattern_factory(system.mc_nodes), rate,
+                                seed=SEED)
+        points.append(runner.run(warmup=OL_WARMUP, measure=OL_MEASURE))
+    return points
+
+
+def _experiment():
+    rows = []
+    for label, factory in (
+            ("uniform", UniformManyToFew),
+            ("hotspot-20%", lambda mcs: HotspotManyToFew(mcs, 0.2))):
+        rows.append(f"--- {label} many-to-few-to-many ---")
+        header = "rate      " + "".join(f"{d.name:>14s}" for d in CONFIGS)
+        rows.append(header)
+        curves = {d.name: _curve(d, factory) for d in CONFIGS}
+        for i, rate in enumerate(RATES):
+            cells = []
+            for d in CONFIGS:
+                p = curves[d.name][i]
+                cells.append("     saturated" if p.saturated
+                             else f"{p.mean_latency:14.1f}")
+            rows.append(f"{rate:8.3f}  " + "".join(cells))
+        sat = {d.name: next((RATES[i] for i, p in
+                             enumerate(curves[d.name]) if p.saturated),
+                            float("inf"))
+               for d in CONFIGS}
+        rows.append("saturation onset: " + ", ".join(
+            f"{k}@{v:g}" for k, v in sat.items()))
+    rows.append("(paper: CP-CR-2P and 2x-TB-DOR saturate last; "
+                "TB-DOR first)")
+    return rows
+
+
+def test_fig21_openloop(benchmark):
+    report("fig21_openloop", once(benchmark, _experiment))

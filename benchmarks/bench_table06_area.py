@@ -1,0 +1,70 @@
+"""Table VI: area estimates (ORION 2.0, 65 nm) for every design point, and
+the headline: the throughput-effective network improves IPC/mm² by 25.4 %.
+
+This bench regenerates the table from our calibrated area model and checks
+each row against the paper's published numbers."""
+
+import dataclasses
+
+from common import once, report
+from repro.area.chip import (GTX280_AREA_MM2, compute_area_mm2,
+                             design_noc_area, throughput_effectiveness_gain)
+from repro.area.orion import link_area, router_area
+from repro.core.builder import (BASELINE, CP_CR, DOUBLE_BW,
+                                DOUBLE_CP_CR, DOUBLE_CP_CR_2P,
+                                DOUBLE_CP_CR_DEDICATED)
+
+PAPER_ROWS = {
+    "Baseline": (69.00, 15.63, 576.0),
+    "2x-BW": (263.0, 52.95, 790.948),
+    "CP-CR": (59.20, 13.9, 566.2),
+    "Double CP-CR (dedicated)": (29.74, 8.7, 536.74),
+    "Double CP-CR 2P (dedicated)": (30.44, 8.93, 537.44),
+}
+
+
+def _experiment():
+    rows = [f"compute area = {compute_area_mm2():.1f} mm2 (paper: 486, "
+            f"GTX280 die {GTX280_AREA_MM2:.0f})"]
+    ded_2p = dataclasses.replace(DOUBLE_CP_CR_DEDICATED, mc_inject_ports=2)
+    table = [
+        ("Baseline", design_noc_area(BASELINE)),
+        ("2x-BW", design_noc_area(DOUBLE_BW)),
+        ("CP-CR", design_noc_area(CP_CR)),
+        ("Double CP-CR (dedicated)",
+         design_noc_area(DOUBLE_CP_CR_DEDICATED)),
+        ("Double CP-CR 2P (dedicated)",
+         design_noc_area(ded_2p, multiport_both_slices=False)),
+        ("Double CP-CR (balanced, ours)", design_noc_area(DOUBLE_CP_CR)),
+        ("Thr.Eff (balanced 2P, ours)", design_noc_area(DOUBLE_CP_CR_2P)),
+    ]
+    rows.append(f"{'design':30s} {'routers':>8s} {'links':>7s} "
+                f"{'NoC %':>7s} {'total':>8s}  paper(routers/%/total)")
+    for name, area in table:
+        paper = PAPER_ROWS.get(name)
+        ref = (f"  {paper[0]:.2f}/{paper[1]:.2f}%/{paper[2]:.2f}"
+               if paper else "  --")
+        rows.append(f"{name:30s} {area.router_sum:8.2f} {area.link_sum:7.2f} "
+                    f"{area.overhead_fraction:7.2%} {area.total_chip:8.2f}"
+                    f"{ref}")
+        if paper:
+            assert abs(area.router_sum - paper[0]) / paper[0] < 0.03
+            assert abs(area.total_chip - paper[2]) / paper[2] < 0.01
+
+    rows.append("component anchors: "
+                f"full router 16B/2VC = {router_area(16, 2).total:.3f} "
+                "(paper 1.916); "
+                f"half 16B/4VC = {router_area(16, 4, half=True).total:.3f} "
+                "(paper 1.18); "
+                f"link 16B = {link_area(16):.3f} (paper 0.175)")
+    te_area = design_noc_area(DOUBLE_CP_CR_2P).total_chip
+    rows.append(
+        "headline identity: +17% IPC at paper layout -> "
+        f"{throughput_effectiveness_gain(1.17, 576.0, 537.44):+.1%} IPC/mm2 "
+        "(paper +25.4%); with our balanced-slicing area -> "
+        f"{throughput_effectiveness_gain(1.17, 576.0, te_area):+.1%}")
+    return rows
+
+
+def test_table06_area(benchmark):
+    report("table06_area", once(benchmark, _experiment))

@@ -1,0 +1,78 @@
+"""Shared harness for the per-figure/table benchmarks.
+
+Every bench regenerates one table or figure of the paper's evaluation:
+it runs the required simulations inside the pytest-benchmark timer, prints
+the same rows/series the paper reports, and writes them to
+``benchmarks/results/<name>.txt`` so the numbers survive output capture.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SUBSET`` — comma-separated benchmark abbreviations (default:
+  all 31 of Table I).
+* ``REPRO_BENCH_WARMUP`` / ``REPRO_BENCH_MEASURE`` — simulation window in
+  interconnect cycles (defaults 400 / 800; the shapes are stable well before
+  that).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.builder import NetworkDesign
+from repro.system.accelerator import (SimulationResult, build_chip,
+                                      perfect_chip)
+from repro.workloads.profiles import PROFILES, BenchmarkProfile, profile
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "400"))
+MEASURE = int(os.environ.get("REPRO_BENCH_MEASURE", "800"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "11"))
+
+
+def bench_profiles() -> List[BenchmarkProfile]:
+    subset = os.environ.get("REPRO_BENCH_SUBSET")
+    if not subset:
+        return list(PROFILES)
+    return [profile(abbr.strip().upper()) for abbr in subset.split(",")]
+
+
+def run_design(prof: BenchmarkProfile,
+               design: NetworkDesign) -> SimulationResult:
+    chip = build_chip(prof, design=design, seed=SEED)
+    return chip.run(warmup=WARMUP, measure=MEASURE)
+
+
+def run_perfect(prof: BenchmarkProfile) -> SimulationResult:
+    chip = perfect_chip(prof, seed=SEED)
+    return chip.run(warmup=WARMUP, measure=MEASURE)
+
+
+def sweep(designs: Sequence[NetworkDesign],
+          profiles: Optional[Sequence[BenchmarkProfile]] = None,
+          ) -> Dict[str, Dict[str, SimulationResult]]:
+    """results[design name][benchmark abbr] -> SimulationResult."""
+    profiles = profiles if profiles is not None else bench_profiles()
+    return {
+        design.name: {p.abbr: run_design(p, design) for p in profiles}
+        for design in designs
+    }
+
+
+def report(name: str, lines: Iterable[str]) -> None:
+    """Print the figure/table rows and persist them under results/."""
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===\n{text}")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn: Callable[[], object]):
+    """Run ``fn`` exactly once under the pytest-benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def fmt_pct(x: float) -> str:
+    return f"{x:+7.1%}"

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Using the library beyond the paper: define a custom workload profile and
+a custom NoC design point, and evaluate them end to end.
+
+Demonstrates the extension surface a downstream user works with:
+``BenchmarkProfile`` (synthetic-workload parameters), ``NetworkDesign``
+(topology/routing/slicing/port knobs) and the area model.
+
+Run:  python examples/custom_design.py
+"""
+
+import dataclasses
+
+from repro.area.chip import design_noc_area
+from repro.core.builder import CP_CR, NetworkDesign, THROUGHPUT_EFFECTIVE
+from repro.system.accelerator import build_chip
+from repro.workloads.profiles import BenchmarkProfile
+
+# A hypothetical future workload: graph analytics with modest scratchpad
+# use, highly divergent accesses and almost no locality.
+GRAPH500 = BenchmarkProfile(
+    abbr="G5", name="Graph500-like BFS kernel", suite="custom",
+    expected_group="HH",
+    warps_per_core=32,
+    mem_fraction=0.35,
+    shared_fraction=0.05,
+    store_fraction=0.08,
+    reuse=0.15,
+    streaming=0.15,
+    divergence=10,
+    footprint_lines=16384,
+)
+
+# A custom design point: checkerboard network with wider channels and
+# deeper VC buffers — "what if we spent a little more area on the CR mesh?"
+WIDE_CR = dataclasses.replace(
+    CP_CR, name="CP-CR-24B", channel_width=24, vc_buffer_depth=12)
+
+
+def main() -> None:
+    print(f"custom workload: {GRAPH500.name} "
+          f"(divergence {GRAPH500.divergence} lines/access)\n")
+    print(f"{'design':22s} {'IPC':>8s} {'chip mm2':>9s} {'IPC/mm2':>9s}")
+    rows = []
+    for design in (CP_CR, WIDE_CR, THROUGHPUT_EFFECTIVE):
+        result = build_chip(GRAPH500, design=design).run(600, 1500)
+        area = design_noc_area(design).total_chip
+        rows.append((design.name, result.ipc, area, result.ipc / area))
+        print(f"{design.name:22s} {result.ipc:8.1f} {area:9.1f} "
+              f"{result.ipc / area:9.4f}")
+    best = max(rows, key=lambda r: r[3])
+    print(f"\nmost throughput-effective for this workload: {best[0]}")
+    print("note how a divergent, reply-bound workload rewards terminal "
+          "bandwidth (2 injection ports) more than wider channels")
+
+
+if __name__ == "__main__":
+    main()

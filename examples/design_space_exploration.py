@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Design-space exploration (Figure 2): walk the paper's NoC design points,
+simulate a benchmark mix closed-loop on each, and rank the designs by
+throughput-effectiveness (IPC/mm²).
+
+Run:  python examples/design_space_exploration.py [--full]
+
+By default a representative 9-benchmark mix (3 per class) keeps the run
+under a couple of minutes; --full uses all 31 benchmarks of Table I.
+"""
+
+import sys
+
+from repro.area.chip import compute_area_mm2, design_noc_area
+from repro.core.builder import (BASELINE, CP_CR, CP_DOR, DOUBLE_BW,
+                                DOUBLE_CP_CR, ONE_CYCLE,
+                                THROUGHPUT_EFFECTIVE)
+from repro.system.accelerator import build_chip, perfect_chip
+from repro.system.metrics import harmonic_mean
+from repro.workloads.profiles import PROFILES, profile
+
+QUICK_MIX = ("AES", "HSP", "SLA", "CON", "BLK", "TRA", "RD", "MUM", "KM")
+DESIGNS = (BASELINE, ONE_CYCLE, DOUBLE_BW, CP_DOR, CP_CR, DOUBLE_CP_CR,
+           THROUGHPUT_EFFECTIVE)
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    profiles = list(PROFILES) if full else [profile(a) for a in QUICK_MIX]
+    print(f"evaluating {len(DESIGNS)} designs on {len(profiles)} benchmarks "
+          "(closed loop)\n")
+
+    rows = []
+    for design in DESIGNS:
+        ipcs = [build_chip(p, design=design).run(400, 1000).ipc
+                for p in profiles]
+        hm = harmonic_mean(ipcs)
+        area = design_noc_area(design).total_chip
+        rows.append((design.name, hm, area, hm / area))
+    ideal = harmonic_mean([perfect_chip(p).run(400, 1000).ipc
+                           for p in profiles])
+    rows.append(("Ideal-NoC", ideal, compute_area_mm2(),
+                 ideal / compute_area_mm2()))
+
+    base_te = rows[0][3]
+    print(f"{'design':22s} {'HM IPC':>8s} {'chip mm2':>9s} "
+          f"{'IPC/mm2':>8s} {'vs baseline':>12s}")
+    for name, hm, area, te in sorted(rows, key=lambda r: -r[3]):
+        print(f"{name:22s} {hm:8.1f} {area:9.1f} {te:8.4f} "
+              f"{te / base_te - 1:+11.1%}")
+    print("\nreading the table: designs above the baseline row are "
+          "throughput-effective improvements; '2x-TB-DOR' buys IPC with "
+          "disproportionate area, 'TB-DOR-1cyc' buys latency nobody needs.")
+
+
+if __name__ == "__main__":
+    main()

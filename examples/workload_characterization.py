@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Workload characterization (Section III / Figure 7): run each benchmark
+closed-loop on the baseline mesh and on a perfect NoC, and classify it into
+LL / LH / HH by perfect-NoC speedup and accepted traffic.
+
+Run:  python examples/workload_characterization.py [ABBR ...]
+(default: one representative benchmark per class from each suite)
+"""
+
+import sys
+
+from repro.core.builder import BASELINE
+from repro.system.accelerator import build_chip, perfect_chip
+from repro.system.metrics import classify
+from repro.workloads.profiles import PROFILES, profile
+
+DEFAULT = ("AES", "HSP", "SLA", "CON", "NNC", "TRA", "MUM", "SCP", "RD")
+
+
+def main() -> None:
+    args = [a.upper() for a in sys.argv[1:]]
+    profiles = ([profile(a) for a in args] if args
+                else [profile(a) for a in DEFAULT])
+    print(f"{'bench':6s} {'base IPC':>9s} {'perfect IPC':>12s} "
+          f"{'speedup':>8s} {'traffic':>8s} {'class':>6s} {'paper':>6s}")
+    agree = 0
+    for prof in profiles:
+        base = build_chip(prof, design=BASELINE).run(500, 1200)
+        perfect = perfect_chip(prof).run(500, 1200)
+        speedup = perfect.ipc / base.ipc - 1
+        traffic = perfect.accepted_bytes_per_cycle_per_node
+        group = classify(speedup, traffic)
+        agree += group == prof.expected_group
+        print(f"{prof.abbr:6s} {base.ipc:9.1f} {perfect.ipc:12.1f} "
+              f"{speedup:+8.0%} {traffic:8.2f} {group:>6s} "
+              f"{prof.expected_group:>6s}")
+    print(f"\n{agree}/{len(profiles)} match the paper's Figure 7 classes")
+    print("LL: network-insensitive and light; LH: heavy but satisfied by "
+          "the balanced mesh; HH: reply-path bound (the paper's target)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim: enables `pip install -e .` on environments whose setuptools
+lacks bundled wheel support (offline, no `wheel` package)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,129 @@
+"""Chip-level area accounting and throughput-effectiveness (Section V-F).
+
+The paper anchors its estimates on the GeForce GTX 280: 576 mm² at 65 nm,
+of which 486 mm² is "compute" (everything that is not the NoC, obtained by
+subtracting the baseline mesh's router and link area).  A design's total
+chip area is compute area plus its NoC area, and the headline metric is
+throughput-effectiveness: application IPC per mm².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.builder import NetworkDesign
+from ..core.placement import HALF_ROUTER_PARITY
+from ..noc.topology import Mesh
+from .orion import RouterArea, link_area, mesh_link_count, router_area
+
+#: GeForce GTX 280 die area at 65 nm (Section V-F).
+GTX280_AREA_MM2 = 576.0
+
+
+@dataclass(frozen=True)
+class NocArea:
+    """Area of one NoC design point (all values mm²)."""
+
+    name: str
+    router_sum: float
+    link_sum: float
+    compute_area: float
+
+    @property
+    def noc_total(self) -> float:
+        return self.router_sum + self.link_sum
+
+    @property
+    def total_chip(self) -> float:
+        return self.compute_area + self.noc_total
+
+    @property
+    def overhead_fraction(self) -> float:
+        """NoC overhead as a fraction of the GTX280 die (Table VI column)."""
+        return self.noc_total / GTX280_AREA_MM2
+
+
+def _slice_vcs(design: NetworkDesign) -> int:
+    """VCs per router in one physical network of the design."""
+    if design.double_network and design.slice_mode == "dedicated":
+        return design.vcs_per_class          # one protocol class per slice
+    return 2 * design.vcs_per_class          # request + reply classes
+
+
+def design_noc_area(design: NetworkDesign, mesh: Optional[Mesh] = None,
+                    num_mcs: int = 8,
+                    compute_area: Optional[float] = None,
+                    multiport_both_slices: Optional[bool] = None) -> NocArea:
+    """Area of the network(s) described by ``design``.
+
+    ``multiport_both_slices`` controls whether multi-port MC routers are
+    counted in both slices of a double network (the balanced slicing
+    default) or only in the reply slice (the paper's dedicated layout).
+    """
+    mesh = mesh if mesh is not None else Mesh(6, 6)
+    if compute_area is None:
+        compute_area = compute_area_mm2()
+    if multiport_both_slices is None:
+        multiport_both_slices = (design.slice_mode == "balanced")
+
+    slices = 2 if design.double_network else 1
+    width = design.channel_width // slices
+    vcs = _slice_vcs(design)
+    depth = design.vc_buffer_depth
+
+    half_tiles = sum(1 for c in mesh.coords()
+                     if design.half_routers
+                     and c.parity() == HALF_ROUTER_PARITY)
+    full_tiles = mesh.num_nodes - half_tiles
+    # All MC tiles sit at half-routers under the checkerboard organization,
+    # at full routers otherwise.
+    mc_on_half = design.half_routers
+
+    router_sum = 0.0
+    for slice_index in range(slices):
+        multiport = (design.mc_inject_ports > 1
+                     or design.mc_eject_ports > 1)
+        upgraded = multiport and (multiport_both_slices or slice_index == 1
+                                  or slices == 1)
+        inj = design.mc_inject_ports if upgraded else 1
+        ej = design.mc_eject_ports if upgraded else 1
+        plain = router_area(width, vcs, half=False, buffer_depth=depth)
+        half = router_area(width, vcs, half=True, buffer_depth=depth)
+        mc = router_area(width, vcs, half=mc_on_half, buffer_depth=depth,
+                         inject_ports=inj, eject_ports=ej)
+        if mc_on_half:
+            router_sum += (full_tiles * plain.total
+                           + (half_tiles - num_mcs) * half.total
+                           + num_mcs * mc.total)
+        else:
+            router_sum += (full_tiles - num_mcs) * plain.total \
+                + half_tiles * half.total + num_mcs * mc.total
+    link_sum = slices * mesh_link_count(mesh.cols, mesh.rows) \
+        * link_area(width)
+    return NocArea(design.name, router_sum, link_sum, compute_area)
+
+
+def baseline_noc_area(mesh: Optional[Mesh] = None) -> NocArea:
+    """NoC area of the balanced baseline mesh (Table VI, first row)."""
+    from ..core.builder import BASELINE
+    return design_noc_area(BASELINE, mesh, compute_area=0.0)
+
+
+def compute_area_mm2(mesh: Optional[Mesh] = None) -> float:
+    """GTX280 die minus the baseline mesh NoC (~486 mm², Section V-F)."""
+    return GTX280_AREA_MM2 - baseline_noc_area(mesh).noc_total
+
+
+def throughput_effectiveness(ipc: float, total_chip_area: float) -> float:
+    """The paper's figure of merit: IPC per mm²."""
+    if total_chip_area <= 0:
+        raise ValueError("chip area must be positive")
+    return ipc / total_chip_area
+
+
+def throughput_effectiveness_gain(ipc_ratio: float, area_a: float,
+                                  area_b: float) -> float:
+    """Relative IPC/mm² improvement of design B over design A given B's
+    IPC ratio versus A (e.g. 1.17 x 576/537.4 - 1 = 25.4 %)."""
+    return ipc_ratio * (area_a / area_b) - 1.0

@@ -1,0 +1,182 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list
+    python -m repro run --benchmark RD --design Throughput-Effective
+    python -m repro compare --benchmark RD --designs TB-DOR,CP-CR-4VC
+    python -m repro area
+    python -m repro sweep --design TB-DOR --rates 0.01,0.03,0.05
+
+The CLI is a thin veneer over the public API; everything it prints can be
+obtained programmatically (see examples/).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .area.chip import design_noc_area, throughput_effectiveness
+from .core.builder import NAMED_DESIGNS, design_by_name, open_loop_variant, \
+    build
+from .noc.openloop import OpenLoopRunner
+from .noc.traffic import HotspotManyToFew, UniformManyToFew
+from .system.accelerator import build_chip, perfect_chip
+from .workloads.profiles import PROFILES, profile
+
+
+def _cmd_list(_args) -> int:
+    print("network designs:")
+    for name, design in sorted(NAMED_DESIGNS.items()):
+        parts = [design.placement, design.routing,
+                 f"{design.channel_width}B"]
+        if design.half_routers:
+            parts.append("half-routers")
+        if design.double_network:
+            parts.append(f"double({design.slice_mode})")
+        if design.mc_inject_ports > 1:
+            parts.append(f"{design.mc_inject_ports} inj ports")
+        print(f"  {name:26s} {' · '.join(parts)}")
+    print("\nbenchmarks (Table I):")
+    for p in PROFILES:
+        print(f"  {p.abbr:4s} [{p.expected_group}] {p.name}")
+    return 0
+
+
+def _print_result(result) -> None:
+    print(f"benchmark           {result.benchmark}")
+    print(f"network             {result.network}")
+    print(f"IPC                 {result.ipc:.2f} (scalar/core clock)")
+    print(f"accepted traffic    "
+          f"{result.accepted_bytes_per_cycle_per_node:.2f} B/cycle/node")
+    print(f"MC injection rate   {result.mc_injection_rate_flits:.3f} "
+          f"flits/cycle/MC")
+    print(f"MC reply stall      {result.mc_stall_fraction:.1%}")
+    print(f"packet latency      {result.mean_packet_latency:.1f} cycles "
+          f"(network {result.mean_network_latency:.1f})")
+    print(f"DRAM row hits       {result.dram_row_hit_rate:.1%}  "
+          f"efficiency {result.dram_efficiency:.1%}")
+    print(f"L1 / L2 hit rate    {result.l1_hit_rate:.1%} / "
+          f"{result.l2_hit_rate:.1%}")
+
+
+def _cmd_run(args) -> int:
+    prof = profile(args.benchmark.upper())
+    if args.design.lower() == "perfect":
+        chip = perfect_chip(prof, seed=args.seed)
+    else:
+        chip = build_chip(prof, design=design_by_name(args.design),
+                          seed=args.seed)
+    result = chip.run(warmup=args.warmup, measure=args.measure)
+    _print_result(result)
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    prof = profile(args.benchmark.upper())
+    names = [n.strip() for n in args.designs.split(",")]
+    results = []
+    for name in names:
+        chip = build_chip(prof, design=design_by_name(name), seed=args.seed)
+        results.append(chip.run(warmup=args.warmup, measure=args.measure))
+    base = results[0]
+    print(f"{'design':26s} {'IPC':>8s} {'speedup':>8s} {'IPC/mm2':>9s}")
+    for name, result in zip(names, results):
+        area = design_noc_area(design_by_name(name)).total_chip
+        te = throughput_effectiveness(result.ipc, area)
+        print(f"{name:26s} {result.ipc:8.2f} "
+              f"{result.ipc / base.ipc - 1:+8.1%} {te:9.4f}")
+    return 0
+
+
+def _cmd_area(args) -> int:
+    names = ([args.design] if args.design
+             else sorted(NAMED_DESIGNS))
+    print(f"{'design':26s} {'routers':>8s} {'links':>7s} {'NoC %':>7s} "
+          f"{'chip mm2':>9s}")
+    for name in names:
+        a = design_noc_area(design_by_name(name))
+        print(f"{name:26s} {a.router_sum:8.2f} {a.link_sum:7.2f} "
+              f"{a.overhead_fraction:7.2%} {a.total_chip:9.2f}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    design = design_by_name(args.design)
+    rates = [float(r) for r in args.rates.split(",")]
+    print(f"open-loop sweep of {design.name} "
+          f"({'hotspot' if args.hotspot else 'uniform'} many-to-few)")
+    print(f"{'rate':>8s} {'latency':>9s} {'accepted':>9s} {'saturated':>10s}")
+    for rate in rates:
+        system = build(open_loop_variant(design), seed=args.seed)
+        pattern = (HotspotManyToFew(system.mc_nodes, 0.2) if args.hotspot
+                   else UniformManyToFew(system.mc_nodes))
+        runner = OpenLoopRunner(system, system.compute_nodes,
+                                system.mc_nodes, pattern, rate,
+                                seed=args.seed)
+        point = runner.run(warmup=args.warmup, measure=args.measure)
+        latency = ("inf" if point.mean_latency == float("inf")
+                   else f"{point.mean_latency:.1f}")
+        print(f"{rate:8.3f} {latency:>9s} "
+              f"{point.accepted_flits_per_cycle:9.2f} "
+              f"{'yes' if point.saturated else 'no':>10s}")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Throughput-effective NoC reproduction (MICRO 2010)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list designs and benchmarks")
+
+    def sim_args(p):
+        p.add_argument("--warmup", type=int, default=500)
+        p.add_argument("--measure", type=int, default=1500)
+        p.add_argument("--seed", type=int, default=11)
+
+    run = sub.add_parser("run", help="closed-loop run of one benchmark")
+    run.add_argument("--benchmark", required=True)
+    run.add_argument("--design", default="TB-DOR",
+                     help="design name or 'perfect'")
+    sim_args(run)
+
+    cmp_ = sub.add_parser("compare", help="compare designs on one benchmark")
+    cmp_.add_argument("--benchmark", required=True)
+    cmp_.add_argument("--designs", required=True,
+                      help="comma-separated design names (first = baseline)")
+    sim_args(cmp_)
+
+    area = sub.add_parser("area", help="area model (Table VI)")
+    area.add_argument("--design")
+
+    sweep = sub.add_parser("sweep", help="open-loop load-latency sweep")
+    sweep.add_argument("--design", default="TB-DOR")
+    sweep.add_argument("--rates", default="0.005,0.02,0.04,0.06")
+    sweep.add_argument("--hotspot", action="store_true")
+    sweep.add_argument("--warmup", type=int, default=800)
+    sweep.add_argument("--measure", type=int, default=2500)
+    sweep.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "area": _cmd_area,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

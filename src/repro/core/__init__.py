@@ -1,0 +1,40 @@
+"""The paper's contribution: throughput-effective NoC designs.
+
+* Checkerboard placement of memory controllers (:mod:`placement`).
+* The checkerboard full-/half-router organization and its routing algorithm
+  (:mod:`checkerboard_routing`, :mod:`half_router`).
+* Channel slicing into a dedicated double network and multi-port MC routers
+  (design points in :mod:`builder`).
+"""
+
+from .builder import (BASELINE, CP_CR, CP_DOR, CP_DOR_4VC, CP_ROMM,
+                      DOUBLE_BW,
+                      DOUBLE_CP_CR, DOUBLE_CP_CR_2E, DOUBLE_CP_CR_2P,
+                      DOUBLE_CP_CR_2P2E, DOUBLE_CP_CR_DEDICATED, NAMED_DESIGNS, ONE_CYCLE,
+                      THROUGHPUT_EFFECTIVE, NetworkDesign, NetworkSystem,
+                      build, design_by_name, mc_placement, open_loop_variant)
+from .checkerboard_routing import (CheckerboardRouting, RouteCase,
+                                   TracedRoute, UnroutableError, classify,
+                                   intermediate_candidates, is_half_router,
+                                   trace_route)
+from .half_router import CrossbarShape, crossbar_shape
+from .placement import (DEFAULT_CHECKERBOARD_6X6, HALF_ROUTER_PARITY,
+                        checkerboard_placement, compute_nodes,
+                        random_checkerboard_placements, top_bottom_placement,
+                        validate_checkerboard_placement)
+
+__all__ = [
+    "BASELINE", "CP_CR", "CP_DOR", "CP_DOR_4VC", "CP_ROMM",
+    "CheckerboardRouting",
+    "CrossbarShape", "DEFAULT_CHECKERBOARD_6X6", "DOUBLE_BW",
+    "DOUBLE_CP_CR", "DOUBLE_CP_CR_2E", "DOUBLE_CP_CR_2P",
+    "DOUBLE_CP_CR_2P2E", "DOUBLE_CP_CR_DEDICATED", "HALF_ROUTER_PARITY",
+    "NAMED_DESIGNS",
+    "NetworkDesign", "NetworkSystem", "ONE_CYCLE", "RouteCase",
+    "THROUGHPUT_EFFECTIVE", "TracedRoute", "UnroutableError", "build",
+    "checkerboard_placement", "classify", "compute_nodes",
+    "crossbar_shape", "design_by_name", "intermediate_candidates",
+    "is_half_router", "mc_placement", "random_checkerboard_placements",
+    "open_loop_variant", "top_bottom_placement", "trace_route",
+    "validate_checkerboard_placement",
+]

@@ -1,0 +1,304 @@
+"""Network design points and assembly.
+
+A :class:`NetworkDesign` names one point in the paper's design space
+(Table V abbreviations): placement (TB / CP), routing (DOR / CR), full or
+checkerboard routers, channel width, VC count, channel slicing into a
+dedicated double network, and multi-port MC routers.  ``build`` turns a
+design plus a mesh into a :class:`NetworkSystem` — one or two
+:class:`~repro.noc.network.MeshNetwork` instances behind the single
+interface the closed-loop simulator and open-loop harness drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..noc.network import MeshNetwork, NocParams
+from ..noc.packet import Packet, TrafficClass
+from ..noc.router import RouterSpec
+from ..noc.routing import DorXY, DorYX, Romm2Phase, RoutingAlgorithm
+from ..noc.stats import NetworkStats, merge_stats
+from ..noc.topology import Coord, Mesh
+from ..noc.vc import VcConfig, dedicated_vc_config, shared_vc_config
+from .checkerboard_routing import CheckerboardRouting
+from .placement import (HALF_ROUTER_PARITY, checkerboard_placement,
+                        compute_nodes, top_bottom_placement,
+                        validate_checkerboard_placement)
+
+
+@dataclass(frozen=True)
+class NetworkDesign:
+    """One NoC design point."""
+
+    name: str
+    placement: str = "top_bottom"        # "top_bottom" | "checkerboard"
+    routing: str = "dor"                 # "dor" | "cr"
+    half_routers: bool = False
+    channel_width: int = 16              # bytes; total across all slices
+    vcs_per_class: int = 1               # routing VCs per protocol class
+    double_network: bool = False         # channel slicing (Section IV-C)
+    #: How the two slices carry traffic.  "dedicated" follows the paper's
+    #: description (one slice for requests, one for replies — no protocol
+    #: VCs needed).  "balanced" lets both slices carry both classes with
+    #: protocol VCs in each, splitting packets across slices round-robin;
+    #: this keeps the reply path's effective bandwidth equal to the single
+    #: network's for the byte-asymmetric many-to-few-to-many traffic.
+    slice_mode: str = "dedicated"
+    mc_inject_ports: int = 1
+    mc_eject_ports: int = 1
+    #: How CR picks the two-phase intermediate full-router: "random" (the
+    #: paper) or "first" (deterministic; ablation).
+    cr_intermediate: str = "random"
+    router_latency: int = 4
+    half_router_latency: int = 3
+    channel_latency: int = 1
+    vc_buffer_depth: int = 8
+    source_queue_flits: Optional[int] = 16
+    mc_coords: Optional[Sequence[Coord]] = None  # override the placement
+
+    def validate(self) -> None:
+        if self.routing == "cr":
+            if not self.half_routers:
+                raise ValueError("checkerboard routing implies half-routers")
+            if self.vcs_per_class < 2:
+                raise ValueError("CR needs 2 routing VCs per class (XY/YX)")
+        if self.routing == "romm":
+            if self.half_routers:
+                raise ValueError(
+                    "ROMM turns anywhere and needs full routers")
+            if self.vcs_per_class < 2:
+                raise ValueError("ROMM needs one routing VC per phase")
+        if self.half_routers and self.placement != "checkerboard":
+            raise ValueError(
+                "half-routers require MCs on half-router tiles, i.e. the "
+                "checkerboard placement")
+        if self.double_network and self.channel_width % 2:
+            raise ValueError("channel slicing halves the channel width")
+        if self.slice_mode not in ("dedicated", "balanced"):
+            raise ValueError(f"unknown slice mode {self.slice_mode!r}")
+        if self.placement not in ("top_bottom", "checkerboard"):
+            raise ValueError(f"unknown placement {self.placement!r}")
+        if self.routing not in ("dor", "dor_yx", "cr", "romm"):
+            raise ValueError(f"unknown routing {self.routing!r}")
+
+
+class NetworkSystem:
+    """One or two physical networks behind a single injection interface."""
+
+    def __init__(self, design: NetworkDesign, mesh: Mesh,
+                 networks: List[MeshNetwork], mc_nodes: List[Coord]) -> None:
+        self.design = design
+        self.mesh = mesh
+        self.networks = networks
+        self.mc_nodes = list(mc_nodes)
+        self.compute_nodes = compute_nodes(mesh, mc_nodes)
+        self.cycle = 0
+        self._slice_rr = 0
+
+    def _network_for(self, packet: Packet) -> MeshNetwork:
+        carriers = [n for n in self.networks if n.carries(packet)]
+        if not carriers:
+            raise ValueError(f"no network carries {packet.traffic_class!r}")
+        if len(carriers) == 1:
+            return carriers[0]
+        # Balanced slicing: spread packets across the slices round-robin.
+        self._slice_rr = (self._slice_rr + 1) % len(carriers)
+        return carriers[self._slice_rr]
+
+    def try_inject(self, packet: Packet, cycle: int) -> bool:
+        return self._network_for(packet).try_inject(packet, cycle)
+
+    def set_ejection_handler(self, coord: Coord,
+                             handler: Callable[[Packet, int], None]) -> None:
+        for network in self.networks:
+            network.set_ejection_handler(coord, handler)
+
+    def step(self, cycle: Optional[int] = None) -> None:
+        self.cycle = self.cycle + 1 if cycle is None else cycle
+        for network in self.networks:
+            network.step(self.cycle)
+
+    @property
+    def idle(self) -> bool:
+        return all(network.idle for network in self.networks)
+
+    @property
+    def stats(self) -> NetworkStats:
+        if len(self.networks) == 1:
+            return self.networks[0].stats
+        return merge_stats([n.stats for n in self.networks])
+
+    def run_until_idle(self, max_cycles: int = 1_000_000) -> int:
+        start = self.cycle
+        while not self.idle:
+            if self.cycle - start > max_cycles:
+                raise RuntimeError("network failed to drain (deadlock?)")
+            self.step()
+        return self.cycle - start
+
+
+def mc_placement(design: NetworkDesign, mesh: Mesh,
+                 num_mcs: int = 8) -> List[Coord]:
+    """MC coordinates for a design: explicit override, staggered
+    checkerboard, or the top-bottom baseline."""
+    if design.mc_coords is not None:
+        mcs = list(design.mc_coords)
+    elif design.placement == "checkerboard":
+        mcs = checkerboard_placement(mesh, num_mcs)
+    else:
+        mcs = top_bottom_placement(mesh, num_mcs)
+    if design.half_routers:
+        validate_checkerboard_placement(mesh, mcs)
+    return mcs
+
+
+def _router_specs(design: NetworkDesign, mesh: Mesh,
+                  mcs: Sequence[Coord]) -> Dict[Coord, RouterSpec]:
+    mc_set = set(mcs)
+    specs = {}
+    for coord in mesh.coords():
+        half = design.half_routers and coord.parity() == HALF_ROUTER_PARITY
+        latency = (design.half_router_latency if half
+                   else design.router_latency)
+        is_mc = coord in mc_set
+        specs[coord] = RouterSpec(
+            coord=coord,
+            half=half,
+            pipeline_latency=latency,
+            num_inject_ports=design.mc_inject_ports if is_mc else 1,
+            num_eject_ports=design.mc_eject_ports if is_mc else 1,
+        )
+    return specs
+
+
+def _make_routing(design: NetworkDesign, mesh: Mesh) -> RoutingAlgorithm:
+    if design.routing == "cr":
+        return CheckerboardRouting(
+            mesh, intermediate_policy=design.cr_intermediate)
+    if design.routing == "romm":
+        return Romm2Phase(mesh)
+    if design.routing == "dor_yx":
+        return DorYX(mesh)
+    return DorXY(mesh)
+
+
+def build(design: NetworkDesign, mesh: Optional[Mesh] = None,
+          num_mcs: int = 8, seed: int = 1) -> NetworkSystem:
+    """Assemble the network(s) described by ``design``."""
+    design.validate()
+    mesh = mesh if mesh is not None else Mesh(6, 6)
+    mcs = mc_placement(design, mesh, num_mcs)
+    specs = _router_specs(design, mesh, mcs)
+    route_split = design.routing in ("cr", "romm")
+
+    networks: List[MeshNetwork] = []
+    if design.double_network:
+        width = design.channel_width // 2
+        for i in range(2):
+            # Section IV-C: the number of VC buffers stays constant across
+            # the slicing; each buffer holds the same flit count at half the
+            # flit size, so its storage is halved.
+            params = NocParams(channel_width=width,
+                               vc_buffer_depth=design.vc_buffer_depth,
+                               channel_latency=design.channel_latency,
+                               source_queue_flits=design.source_queue_flits)
+            if design.slice_mode == "dedicated":
+                tclass = (TrafficClass.REQUEST, TrafficClass.REPLY)[i]
+                vc_config = dedicated_vc_config(
+                    tclass, num_vcs=design.vcs_per_class,
+                    route_split=route_split)
+                name = f"{design.name}-{tclass.name.lower()}"
+            else:
+                vc_config = shared_vc_config(
+                    vcs_per_class=design.vcs_per_class,
+                    route_split=route_split)
+                name = f"{design.name}-slice{i}"
+            networks.append(MeshNetwork(
+                mesh, specs, params, vc_config,
+                _make_routing(design, mesh), seed=seed + i, name=name))
+    else:
+        params = NocParams(channel_width=design.channel_width,
+                           vc_buffer_depth=design.vc_buffer_depth,
+                           channel_latency=design.channel_latency,
+                           source_queue_flits=design.source_queue_flits)
+        vc_config = shared_vc_config(vcs_per_class=design.vcs_per_class,
+                                     route_split=route_split)
+        networks.append(MeshNetwork(mesh, specs, params, vc_config,
+                                    _make_routing(design, mesh), seed=seed,
+                                    name=design.name))
+    return NetworkSystem(design, mesh, networks, mcs)
+
+
+# ---------------------------------------------------------------------------
+# Named design points (Table V abbreviations).
+# ---------------------------------------------------------------------------
+
+BASELINE = NetworkDesign(name="TB-DOR")
+
+DOUBLE_BW = replace(BASELINE, name="2x-TB-DOR", channel_width=32)
+
+ONE_CYCLE = replace(BASELINE, name="TB-DOR-1cyc", router_latency=1,
+                    half_router_latency=1)
+
+CP_DOR = replace(BASELINE, name="CP-DOR", placement="checkerboard")
+
+CP_DOR_4VC = replace(CP_DOR, name="CP-DOR-4VC", vcs_per_class=2)
+
+CP_CR = replace(CP_DOR, name="CP-CR-4VC", routing="cr", half_routers=True,
+                vcs_per_class=2)
+
+# Note on slice_mode: Section IV-C describes a *dedicated* double network
+# (one slice per traffic class), but with read replies carrying ~8x the
+# request bytes, a dedicated reply slice at half channel width halves the
+# usable reply-path bandwidth and cannot reproduce Figure 18's "no change in
+# performance".  The named designs therefore default to the load-balanced
+# double network; the dedicated variant remains available and is quantified
+# by benchmarks/bench_ablation_slicing.py.
+#: ROMM on a full-router mesh with checkerboard placement — the related
+#: work CR is compared against (same VC budget, pricier routers).
+CP_ROMM = replace(CP_DOR_4VC, name="CP-ROMM-4VC", routing="romm")
+
+DOUBLE_CP_CR = replace(CP_CR, name="Double-CP-CR", double_network=True,
+                       slice_mode="balanced")
+
+DOUBLE_CP_CR_2P = replace(DOUBLE_CP_CR, name="Double-CP-CR-2P",
+                          mc_inject_ports=2)
+
+DOUBLE_CP_CR_2E = replace(DOUBLE_CP_CR, name="Double-CP-CR-2E",
+                          mc_eject_ports=2)
+
+DOUBLE_CP_CR_2P2E = replace(DOUBLE_CP_CR, name="Double-CP-CR-2P2E",
+                            mc_inject_ports=2, mc_eject_ports=2)
+
+DOUBLE_CP_CR_DEDICATED = replace(CP_CR, name="Double-CP-CR-dedicated",
+                                 double_network=True, slice_mode="dedicated")
+
+#: The paper's combined throughput-effective design (Section V, Figure 20):
+#: checkerboard placement + checkerboard routing + dedicated double network
+#: + 2 injection ports at MC routers.
+THROUGHPUT_EFFECTIVE = replace(DOUBLE_CP_CR_2P, name="Throughput-Effective")
+
+NAMED_DESIGNS: Dict[str, NetworkDesign] = {
+    d.name: d for d in (
+        BASELINE, DOUBLE_BW, ONE_CYCLE, CP_DOR, CP_DOR_4VC, CP_CR,
+        CP_ROMM, DOUBLE_CP_CR, DOUBLE_CP_CR_2P, DOUBLE_CP_CR_2E, DOUBLE_CP_CR_2P2E,
+        DOUBLE_CP_CR_DEDICATED, THROUGHPUT_EFFECTIVE,
+    )
+}
+
+
+def open_loop_variant(design: NetworkDesign) -> NetworkDesign:
+    """The same design with unbounded source queues — the open-loop
+    convention where source queueing time counts toward packet latency."""
+    return replace(design, source_queue_flits=None)
+
+
+def design_by_name(name: str) -> NetworkDesign:
+    """Look up one of the named design points (Table V abbreviations)."""
+    try:
+        return NAMED_DESIGNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown design {name!r}; known: {sorted(NAMED_DESIGNS)}"
+        ) from None

@@ -1,0 +1,49 @@
+"""Half-router structural description (Section IV-A, Figure 13).
+
+The cycle-level connectivity restriction itself lives in
+``repro.noc.router.half_connectivity``; this module captures the *structural*
+side used for area estimation: a full-router needs a 4x5 crossbar (a packet
+never leaves through the port it arrived on), while a half-router needs only
+four 2x1 muxes (straight-through on each dimension, selectable against the
+injection port) and one 4x1 ejection mux — roughly half the datapath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..noc.router import full_connectivity, half_connectivity
+from ..noc.topology import Direction, ejection_port, injection_port
+
+
+@dataclass(frozen=True)
+class CrossbarShape:
+    """Datapath complexity of a router's switch, counted in mux inputs
+    (crosspoints) at a given channel width."""
+
+    name: str
+    mux_inputs: int
+
+    def crosspoints(self) -> int:
+        return self.mux_inputs
+
+
+def crossbar_shape(half: bool, num_inject_ports: int = 1,
+                   num_eject_ports: int = 1) -> CrossbarShape:
+    """Count mux inputs from the connectivity function itself so the area
+    model and the simulated connectivity can never diverge."""
+    connectivity = half_connectivity if half else full_connectivity
+    in_ports = list(Direction.__members__.values())[:4] + [
+        injection_port(k) for k in range(num_inject_ports)]
+    out_ports = list(Direction.__members__.values())[:4] + [
+        ejection_port(k) for k in range(num_eject_ports)]
+    inputs = 0
+    for out_port in out_ports:
+        fan_in = sum(1 for in_port in in_ports
+                     if connectivity(in_port, out_port))
+        if fan_in > 1:
+            inputs += fan_in
+    name = "half" if half else "full"
+    if num_inject_ports > 1 or num_eject_ports > 1:
+        name += f"-{num_inject_ports}inj{num_eject_ports}ej"
+    return CrossbarShape(name, inputs)

@@ -1,0 +1,101 @@
+"""Memory-controller placement on the mesh.
+
+Two placements from the paper:
+
+* **Top-bottom (TB)** — the baseline (Figure 3): MCs occupy the top and
+  bottom rows, as in Intel's 80-core design and Tilera TILE64.
+* **Checkerboard placement (CP)** — staggered MC positions (Figure 12) that
+  spread reply traffic and avoid hotspots.  Under the checkerboard router
+  organization every MC must sit on a *half-router* tile (odd parity), which
+  is what makes the limited connectivity of half-routers harmless
+  (Section IV-A): no full-router-to-full-router traffic exists.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List, Sequence, Tuple
+
+from ..noc.topology import Coord, Mesh
+
+#: Parity of the tiles that become half-routers in the checkerboard layout.
+HALF_ROUTER_PARITY = 1
+
+
+def top_bottom_placement(mesh: Mesh, num_mcs: int = 8) -> List[Coord]:
+    """MCs on the top and bottom rows, centered (Figure 3)."""
+    per_row, remainder = divmod(num_mcs, 2)
+    if per_row + remainder > mesh.cols:
+        raise ValueError("too many MCs for the top/bottom rows")
+    start = (mesh.cols - per_row) // 2
+    top = [Coord(start + i, 0) for i in range(per_row + remainder)]
+    start = (mesh.cols - per_row) // 2
+    bottom = [Coord(start + i, mesh.rows - 1) for i in range(per_row)]
+    return top + bottom
+
+
+#: The staggered checkerboard placement used throughout the evaluation.
+#: Chosen, as in the paper (Section V-B), as the best of several simulated
+#: valid placements: all eight MCs on half-router tiles, spread across all
+#: four edges of the die.
+DEFAULT_CHECKERBOARD_6X6: Tuple[Coord, ...] = (
+    Coord(1, 0), Coord(3, 0),
+    Coord(0, 1), Coord(5, 2),
+    Coord(0, 3), Coord(5, 4),
+    Coord(2, 5), Coord(4, 5),
+)
+
+
+def checkerboard_placement(mesh: Mesh, num_mcs: int = 8) -> List[Coord]:
+    """The staggered placement of Figure 12 (for the 6x6 mesh) or a spread
+    half-router-tile placement for other mesh sizes."""
+    if (mesh.cols, mesh.rows) == (6, 6) and num_mcs == 8:
+        return list(DEFAULT_CHECKERBOARD_6X6)
+    candidates = [c for c in mesh.coords()
+                  if c.parity() == HALF_ROUTER_PARITY]
+    if num_mcs > len(candidates):
+        raise ValueError("not enough half-router tiles for the MCs")
+    stride = len(candidates) / num_mcs
+    return [candidates[int(i * stride)] for i in range(num_mcs)]
+
+
+def validate_checkerboard_placement(mesh: Mesh,
+                                    mcs: Sequence[Coord]) -> None:
+    """Raise ``ValueError`` unless every MC sits on a half-router tile."""
+    seen = set()
+    for mc in mcs:
+        if not mesh.contains(mc):
+            raise ValueError(f"MC {mc} outside the mesh")
+        if mc.parity() != HALF_ROUTER_PARITY:
+            raise ValueError(
+                f"MC {mc} is on a full-router tile; checkerboard requires "
+                "MCs (and L2 banks) at half-router tiles")
+        if mc in seen:
+            raise ValueError(f"duplicate MC placement {mc}")
+        seen.add(mc)
+
+
+def random_checkerboard_placements(mesh: Mesh, num_mcs: int, count: int,
+                                   seed: int = 0) -> Iterator[List[Coord]]:
+    """Sample distinct valid checkerboard placements (placement ablation)."""
+    rng = random.Random(seed)
+    candidates = [c for c in mesh.coords()
+                  if c.parity() == HALF_ROUTER_PARITY]
+    seen = set()
+    attempts = 0
+    produced = 0
+    while produced < count and attempts < 100 * count:
+        attempts += 1
+        placement = tuple(sorted(rng.sample(candidates, num_mcs)))
+        if placement in seen:
+            continue
+        seen.add(placement)
+        produced += 1
+        yield list(placement)
+
+
+def compute_nodes(mesh: Mesh, mcs: Sequence[Coord]) -> List[Coord]:
+    """All non-MC nodes, i.e. the compute cores."""
+    mc_set = set(mcs)
+    return [c for c in mesh.coords() if c not in mc_set]

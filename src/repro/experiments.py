@@ -1,0 +1,179 @@
+"""Programmatic experiment harness.
+
+The benchmarks under ``benchmarks/`` regenerate the paper's figures; this
+module is the library API underneath them, so downstream users can run the
+same studies without pytest:
+
+* :func:`compare_designs` — run a set of NoC design points over a benchmark
+  suite, closed loop, and aggregate speedups (the shape of Figures 9, 16,
+  17, 18, 19 and 20).
+* :func:`classify_benchmarks` — the Section III-B characterization
+  (perfect-NoC speedup x accepted traffic -> LL/LH/HH; Figures 7 and 8).
+* :func:`load_latency_curves` — open-loop latency-versus-load sweeps for a
+  set of designs and traffic patterns (Figure 21).
+
+Everything returns plain dataclasses that are trivially serialisable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .core.builder import NetworkDesign, build, open_loop_variant
+from .noc.openloop import LoadLatencyPoint, OpenLoopRunner
+from .noc.traffic import DestinationPattern
+from .system.accelerator import SimulationResult, build_chip, perfect_chip
+from .system.config import ChipConfig
+from .system.metrics import classify, harmonic_mean
+from .workloads.profiles import PROFILES, BenchmarkProfile
+
+
+@dataclass
+class DesignComparison:
+    """Closed-loop results for several designs over one benchmark suite."""
+
+    #: results[design name][benchmark abbr]
+    results: Dict[str, Dict[str, SimulationResult]]
+    baseline: str
+
+    def ipc(self, design: str) -> Dict[str, float]:
+        return {abbr: r.ipc for abbr, r in self.results[design].items()}
+
+    def speedups(self, design: str) -> Dict[str, float]:
+        base = self.ipc(self.baseline)
+        return {abbr: ipc / base[abbr] - 1.0
+                for abbr, ipc in self.ipc(design).items()}
+
+    def hm_speedup(self, design: str) -> float:
+        base = harmonic_mean(list(self.ipc(self.baseline).values()))
+        return harmonic_mean(list(self.ipc(design).values())) / base - 1.0
+
+    def summary(self) -> Dict[str, float]:
+        return {name: self.hm_speedup(name) for name in self.results
+                if name != self.baseline}
+
+
+def compare_designs(designs: Sequence[NetworkDesign],
+                    profiles: Optional[Sequence[BenchmarkProfile]] = None,
+                    baseline: Optional[NetworkDesign] = None,
+                    config: Optional[ChipConfig] = None,
+                    warmup: int = 400, measure: int = 800,
+                    seed: int = 11) -> DesignComparison:
+    """Run each design over the suite; the first design (or ``baseline``)
+    anchors the speedups."""
+    profiles = list(profiles) if profiles is not None else list(PROFILES)
+    designs = list(designs)
+    if baseline is not None and baseline not in designs:
+        designs.insert(0, baseline)
+    base_name = (baseline or designs[0]).name
+    results: Dict[str, Dict[str, SimulationResult]] = {}
+    for design in designs:
+        per_bench = {}
+        for prof in profiles:
+            chip = build_chip(prof, design=design, config=config, seed=seed)
+            per_bench[prof.abbr] = chip.run(warmup=warmup, measure=measure)
+        results[design.name] = per_bench
+    return DesignComparison(results=results, baseline=base_name)
+
+
+@dataclass
+class BenchmarkClass:
+    """One benchmark's Section III-B characterization."""
+
+    abbr: str
+    expected_group: str
+    measured_group: str
+    perfect_speedup: float
+    traffic_bytes_per_cycle_node: float
+    baseline: SimulationResult
+    perfect: SimulationResult
+
+    @property
+    def matches_paper(self) -> bool:
+        return self.measured_group == self.expected_group
+
+
+@dataclass
+class Characterization:
+    benchmarks: List[BenchmarkClass]
+
+    @property
+    def agreement(self) -> float:
+        if not self.benchmarks:
+            return 0.0
+        return sum(b.matches_paper for b in self.benchmarks) / \
+            len(self.benchmarks)
+
+    def hm_perfect_speedup(self, group: Optional[str] = None) -> float:
+        rows = [b for b in self.benchmarks
+                if group is None or b.expected_group == group]
+        if not rows:
+            raise ValueError(f"no benchmarks in group {group!r}")
+        base = harmonic_mean([b.baseline.ipc for b in rows])
+        perf = harmonic_mean([b.perfect.ipc for b in rows])
+        return perf / base - 1.0
+
+
+def classify_benchmarks(
+        baseline_design: NetworkDesign,
+        profiles: Optional[Sequence[BenchmarkProfile]] = None,
+        config: Optional[ChipConfig] = None,
+        warmup: int = 400, measure: int = 800,
+        seed: int = 11) -> Characterization:
+    """Figure 7's study: perfect network versus the baseline mesh."""
+    profiles = list(profiles) if profiles is not None else list(PROFILES)
+    rows = []
+    for prof in profiles:
+        base = build_chip(prof, design=baseline_design, config=config,
+                          seed=seed).run(warmup=warmup, measure=measure)
+        perfect = perfect_chip(prof, config=config, seed=seed).run(
+            warmup=warmup, measure=measure)
+        speedup = perfect.ipc / base.ipc - 1.0
+        traffic = perfect.accepted_bytes_per_cycle_per_node
+        rows.append(BenchmarkClass(
+            abbr=prof.abbr,
+            expected_group=prof.expected_group,
+            measured_group=classify(speedup, traffic),
+            perfect_speedup=speedup,
+            traffic_bytes_per_cycle_node=traffic,
+            baseline=base,
+            perfect=perfect,
+        ))
+    return Characterization(rows)
+
+
+@dataclass
+class LoadLatencyCurve:
+    design: str
+    pattern: str
+    points: List[LoadLatencyPoint]
+
+    def saturation_rate(self) -> float:
+        """First offered rate at which the network saturates."""
+        for point in self.points:
+            if point.saturated:
+                return point.offered_rate
+        return float("inf")
+
+
+def load_latency_curves(
+        designs: Sequence[NetworkDesign],
+        rates: Sequence[float],
+        pattern_factory: Callable[[List], DestinationPattern],
+        pattern_name: str = "uniform",
+        warmup: int = 1000, measure: int = 3000,
+        seed: int = 7) -> List[LoadLatencyCurve]:
+    """Figure 21's open-loop study over a set of designs."""
+    curves = []
+    for design in designs:
+        points = []
+        for rate in rates:
+            system = build(open_loop_variant(design), seed=seed)
+            runner = OpenLoopRunner(system, system.compute_nodes,
+                                    system.mc_nodes,
+                                    pattern_factory(system.mc_nodes),
+                                    rate, seed=seed)
+            points.append(runner.run(warmup=warmup, measure=measure))
+        curves.append(LoadLatencyCurve(design.name, pattern_name, points))
+    return curves

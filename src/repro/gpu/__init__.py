@@ -1,0 +1,14 @@
+"""Compute-node substrate: SIMT cores, warps, coalescing."""
+
+from .coalescer import coalesce, coalesced_stride_lines, degree_of_coalescing
+from .core import CoreConfig, MemoryToken, SimtCore
+from .instruction import (ALU, SHARED, InstrKind, WarpInstruction, load,
+                          store)
+from .warp import RoundRobinWarpScheduler, Warp
+
+__all__ = [
+    "ALU", "CoreConfig", "InstrKind", "MemoryToken",
+    "RoundRobinWarpScheduler", "SHARED", "SimtCore", "Warp",
+    "WarpInstruction", "coalesce", "coalesced_stride_lines",
+    "degree_of_coalescing", "load", "store",
+]

@@ -1,0 +1,43 @@
+"""Memory-access coalescing (the DD stage of Figure 4).
+
+Coalescing merges the per-thread addresses of one warp memory instruction
+into the minimal set of cache-line requests, following the CUDA programming
+guide semantics the paper models: one request per distinct L1 line touched
+by the warp.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def coalesce(addresses: Iterable[int], line_bytes: int = 64) -> List[int]:
+    """Unique line addresses for a warp's thread addresses, in first-touch
+    order (deterministic so request streams are reproducible)."""
+    if line_bytes <= 0:
+        raise ValueError("line size must be positive")
+    seen = set()
+    lines: List[int] = []
+    for addr in addresses:
+        line = addr - (addr % line_bytes)
+        if line not in seen:
+            seen.add(line)
+            lines.append(line)
+    return lines
+
+
+def coalesced_stride_lines(base: int, stride: int, threads: int = 32,
+                           line_bytes: int = 64) -> List[int]:
+    """Lines touched by a strided access ``base + i * stride`` — the common
+    regular patterns (unit-stride float loads coalesce into 2 lines for a
+    32-thread warp with 64 B lines and 4 B elements)."""
+    return coalesce((base + i * stride for i in range(threads)), line_bytes)
+
+
+def degree_of_coalescing(addresses: Sequence[int],
+                         line_bytes: int = 64) -> float:
+    """Threads served per memory request; 32 is perfect, 1 is fully
+    divergent."""
+    if not addresses:
+        raise ValueError("need at least one address")
+    return len(addresses) / len(coalesce(addresses, line_bytes))

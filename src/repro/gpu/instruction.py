@@ -1,0 +1,53 @@
+"""Warp instructions.
+
+The compute-node model is execution-driven at warp granularity: each warp
+executes a stream of warp instructions (ALU work, shared-memory "scratchpad"
+accesses, and global loads/stores).  Global accesses carry the cache-line
+addresses produced by memory coalescing (Section II's divergence-detection
+stage, DD in Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Tuple
+
+
+class InstrKind(Enum):
+    """Warp instruction categories."""
+
+    ALU = "alu"
+    SHARED = "shared"          # software-managed scratchpad access
+    GLOBAL_LOAD = "load"
+    GLOBAL_STORE = "store"
+
+
+@dataclass(frozen=True)
+class WarpInstruction:
+    kind: InstrKind
+    #: Unique cache-line addresses touched (already coalesced), empty for
+    #: ALU/shared instructions.
+    line_addrs: Tuple[int, ...] = ()
+    #: Scalar threads active in the warp (for IPC accounting).
+    active_threads: int = 32
+
+    @property
+    def is_global(self) -> bool:
+        return self.kind in (InstrKind.GLOBAL_LOAD, InstrKind.GLOBAL_STORE)
+
+
+ALU = WarpInstruction(InstrKind.ALU)
+SHARED = WarpInstruction(InstrKind.SHARED)
+
+
+def load(line_addrs, active_threads: int = 32) -> WarpInstruction:
+    """A coalesced global load touching ``line_addrs``."""
+    return WarpInstruction(InstrKind.GLOBAL_LOAD, tuple(line_addrs),
+                           active_threads)
+
+
+def store(line_addrs, active_threads: int = 32) -> WarpInstruction:
+    """A coalesced global store touching ``line_addrs``."""
+    return WarpInstruction(InstrKind.GLOBAL_STORE, tuple(line_addrs),
+                           active_threads)

@@ -1,0 +1,13 @@
+"""Memory-system substrate: caches, MSHRs, GDDR3 DRAM and the MC node."""
+
+from .cache import AccessResult, CacheConfig, SetAssociativeCache
+from .controller import (MC_INTERLEAVE_BYTES, AddressMap, McConfig,
+                         MemoryController)
+from .dram import DramRequest, DramTiming, GddrChannel
+from .mshr import MshrEntry, MshrFile
+
+__all__ = [
+    "AccessResult", "AddressMap", "CacheConfig", "DramRequest",
+    "DramTiming", "GddrChannel", "MC_INTERLEAVE_BYTES", "McConfig",
+    "MemoryController", "MshrEntry", "MshrFile", "SetAssociativeCache",
+]

@@ -1,0 +1,102 @@
+"""Round-robin arbiters and the separable (iSLIP-style) switch allocator.
+
+The baseline router uses an iSLIP allocator (Table III).  We implement a
+single-iteration separable input-first allocator with the iSLIP pointer
+update rule: a round-robin pointer only advances past a requester when that
+requester is granted, which gives the allocator its fairness and
+desynchronization properties.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+
+class RoundRobinArbiter:
+    """Round-robin arbiter over an arbitrary, stable set of client keys."""
+
+    def __init__(self, clients: Sequence[Hashable]) -> None:
+        self._clients: List[Hashable] = list(clients)
+        self._pointer = 0
+
+    @property
+    def clients(self) -> Sequence[Hashable]:
+        return tuple(self._clients)
+
+    def arbitrate(self, requests: Iterable[Hashable],
+                  advance: bool = True) -> Optional[Hashable]:
+        """Grant one of ``requests``.
+
+        ``requests`` must be a subset of the client set.  With ``advance``
+        (the iSLIP rule) the pointer moves one past the winner.
+        """
+        request_set = set(requests)
+        if not request_set:
+            return None
+        n = len(self._clients)
+        for offset in range(n):
+            candidate = self._clients[(self._pointer + offset) % n]
+            if candidate in request_set:
+                if advance:
+                    self._pointer = (self._pointer + offset + 1) % n
+                return candidate
+        raise ValueError(f"requests {request_set!r} not among clients")
+
+
+class SeparableAllocator:
+    """Single-iteration input-first separable allocator.
+
+    Stage 1 (input arbitration): each input port picks one of its requesting
+    VCs.  Stage 2 (output arbitration): each output port picks one winning
+    input among the stage-1 survivors that target it.  Pointers follow the
+    iSLIP update rule: they advance only on a stage-2 grant, so an input VC
+    that won stage 1 but lost stage 2 keeps priority.
+    """
+
+    def __init__(self, input_ports: Sequence[Hashable],
+                 vcs_per_input: int,
+                 output_ports: Sequence[Hashable]) -> None:
+        self._input_arbiters: Dict[Hashable, RoundRobinArbiter] = {
+            port: RoundRobinArbiter(range(vcs_per_input))
+            for port in input_ports
+        }
+        self._output_arbiters: Dict[Hashable, RoundRobinArbiter] = {
+            port: RoundRobinArbiter(list(input_ports)) for port in output_ports
+        }
+
+    def allocate(
+        self,
+        requests: Dict[Hashable, Dict[int, Hashable]],
+    ) -> List[Tuple[Hashable, int, Hashable]]:
+        """Allocate the crossbar for one cycle.
+
+        ``requests`` maps input port -> {vc index -> requested output port}.
+        Returns a list of (input port, vc, output port) grants such that each
+        input port and each output port appears at most once.
+        """
+        # Stage 1: per-input VC selection (do not advance pointers yet; the
+        # iSLIP rule updates pointers only on a full grant).
+        stage1: Dict[Hashable, Tuple[int, Hashable]] = {}
+        for in_port, vc_requests in requests.items():
+            if not vc_requests:
+                continue
+            arbiter = self._input_arbiters[in_port]
+            vc = arbiter.arbitrate(vc_requests.keys(), advance=False)
+            if vc is not None:
+                stage1[in_port] = (vc, vc_requests[vc])
+
+        # Stage 2: per-output arbitration among stage-1 survivors.
+        by_output: Dict[Hashable, List[Hashable]] = {}
+        for in_port, (_vc, out_port) in stage1.items():
+            by_output.setdefault(out_port, []).append(in_port)
+
+        grants: List[Tuple[Hashable, int, Hashable]] = []
+        for out_port, contenders in by_output.items():
+            winner = self._output_arbiters[out_port].arbitrate(contenders)
+            if winner is None:
+                continue
+            vc, _ = stage1[winner]
+            # Advance the winner's input pointer past the granted VC.
+            self._input_arbiters[winner].arbitrate([vc], advance=True)
+            grants.append((winner, vc, out_port))
+        return grants

@@ -1,0 +1,65 @@
+"""Mesh channels: pipelined flit delivery plus upstream credit return."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from .packet import Flit
+from .topology import Direction, PortId
+
+
+class Channel:
+    """A unidirectional channel between two routers.
+
+    Flits travel downstream with ``latency`` cycles of delay; credits travel
+    upstream (toward the sending router's output port) with ``credit_delay``
+    cycles of delay.  Delivery is performed by the network at the start of
+    each cycle, before routers are stepped.
+    """
+
+    __slots__ = ("latency", "credit_delay", "src_router", "src_port",
+                 "dst_router", "dst_port", "_flits", "_credits",
+                 "flits_carried")
+
+    def __init__(self, latency: int = 1, credit_delay: int = 1) -> None:
+        if latency < 1:
+            raise ValueError("channel latency must be at least 1 cycle")
+        self.latency = latency
+        self.credit_delay = credit_delay
+        self.src_router = None
+        self.src_port: Optional[PortId] = None
+        self.dst_router = None
+        self.dst_port: Optional[PortId] = None
+        self._flits: Deque[Tuple[int, Flit, int]] = deque()
+        self._credits: Deque[Tuple[int, int]] = deque()
+        self.flits_carried = 0
+
+    def connect(self, src_router, src_port: PortId,
+                dst_router, dst_port: PortId) -> None:
+        self.src_router = src_router
+        self.src_port = src_port
+        self.dst_router = dst_router
+        self.dst_port = dst_port
+
+    def send_flit(self, flit: Flit, vc: int, cycle: int) -> None:
+        self._flits.append((cycle + self.latency, flit, vc))
+        self.flits_carried += 1
+
+    def send_credit(self, vc: int, cycle: int) -> None:
+        self._credits.append((cycle + self.credit_delay, vc))
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._flits or self._credits)
+
+    def deliver(self, cycle: int) -> None:
+        """Deliver all flits and credits whose delay has elapsed."""
+        flits = self._flits
+        while flits and flits[0][0] <= cycle:
+            _, flit, vc = flits.popleft()
+            self.dst_router.deliver_flit(self.dst_port, vc, flit, cycle)
+        credits = self._credits
+        while credits and credits[0][0] <= cycle:
+            _, vc = credits.popleft()
+            self.src_router.deliver_credit(self.src_port, vc)

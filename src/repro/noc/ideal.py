@@ -1,0 +1,118 @@
+"""Ideal network models used in the paper's limit studies.
+
+* :class:`PerfectNetwork` — zero latency, infinite bandwidth (Figure 7's
+  "perfect interconnection network").
+* :class:`BandwidthLimitedNetwork` — zero latency once a flit is accepted,
+  but a global cap on flits accepted per cycle (Figure 6's limit study).
+  Multiple sources may transmit to one destination in a single cycle and a
+  source may send multiple flits per cycle, exactly as described in
+  Section III-A.
+
+Both expose the same interface as :class:`repro.noc.network.MeshNetwork`
+(``try_inject`` / ``step`` / ``set_ejection_handler`` / ``stats``) so the
+closed-loop simulator can swap them in for the real mesh.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+from .packet import Packet, TrafficClass
+from .stats import NetworkStats
+from .topology import Coord
+
+
+class _IdealBase:
+    """Shared bookkeeping for the ideal-network models."""
+
+    def __init__(self, channel_width: int = 16) -> None:
+        self.channel_width = channel_width
+        self.cycle = 0
+        self.stats = NetworkStats()
+        self._handlers: Dict[Coord, Callable[[Packet, int], None]] = {}
+
+    def set_ejection_handler(self, coord: Coord,
+                             handler: Callable[[Packet, int], None]) -> None:
+        self._handlers[coord] = handler
+
+    def carries(self, packet: Packet) -> bool:
+        return True
+
+    def _deliver(self, packet: Packet, now: int) -> None:
+        num_flits = packet.num_flits(self.channel_width)
+        packet.ejected = now
+        self.stats.record_ejection(packet, num_flits)
+        handler = self._handlers.get(packet.dest)
+        if handler is not None:
+            handler(packet, now)
+
+
+class PerfectNetwork(_IdealBase):
+    """Zero-latency, infinite-bandwidth interconnect."""
+
+    def __init__(self, channel_width: int = 16) -> None:
+        super().__init__(channel_width)
+        self._pending: Deque[Packet] = deque()
+
+    def try_inject(self, packet: Packet, cycle: int) -> bool:
+        packet.injected = cycle
+        self.stats.record_injection(
+            packet, packet.num_flits(self.channel_width))
+        self._pending.append(packet)
+        return True
+
+    def step(self, cycle: Optional[int] = None) -> None:
+        self.cycle = self.cycle + 1 if cycle is None else cycle
+        self.stats.cycles = self.cycle
+        while self._pending:
+            self._deliver(self._pending.popleft(), self.cycle)
+
+    @property
+    def idle(self) -> bool:
+        return not self._pending
+
+
+class BandwidthLimitedNetwork(_IdealBase):
+    """Zero-latency interconnect with an aggregate bandwidth cap.
+
+    ``flits_per_cycle`` is the total number of flits the network accepts per
+    interconnect cycle; fractional budgets accumulate across cycles.  A
+    packet is accepted only when the whole packet fits in the remaining
+    budget, and is delivered instantly on acceptance.
+    """
+
+    def __init__(self, flits_per_cycle: float,
+                 channel_width: int = 16) -> None:
+        super().__init__(channel_width)
+        if flits_per_cycle <= 0:
+            raise ValueError("bandwidth cap must be positive")
+        self.flits_per_cycle = flits_per_cycle
+        self._allowance = 0.0
+        self._queue: Deque[Packet] = deque()
+
+    def try_inject(self, packet: Packet, cycle: int) -> bool:
+        packet.injected = cycle
+        self.stats.record_injection(
+            packet, packet.num_flits(self.channel_width))
+        self._queue.append(packet)
+        return True
+
+    def step(self, cycle: Optional[int] = None) -> None:
+        self.cycle = self.cycle + 1 if cycle is None else cycle
+        self.stats.cycles = self.cycle
+        self._allowance = min(
+            self._allowance + self.flits_per_cycle,
+            # Never bank more than a few cycles of budget; keeps bursts
+            # bounded the way a real channel would.
+            4.0 * self.flits_per_cycle)
+        while self._queue:
+            flits = self._queue[0].num_flits(self.channel_width)
+            if flits > self._allowance:
+                break
+            self._allowance -= flits
+            self._deliver(self._queue.popleft(), self.cycle)
+
+    @property
+    def idle(self) -> bool:
+        return not self._queue

@@ -1,0 +1,243 @@
+"""Mesh network assembly and the cycle loop.
+
+A :class:`MeshNetwork` owns routers, channels, per-node injection source
+queues and packet reassembly at ejection.  The closed-loop accelerator model
+and the open-loop harness both drive it through the same small interface:
+
+* ``try_inject(packet, cycle)`` — queue a packet at its source node's
+  network interface; fails (returns ``False``) when the bounded source queue
+  is full, which is how memory-controller stalls (Figure 11) arise.
+* ``set_ejection_handler(coord, fn)`` — callback invoked with each fully
+  reassembled packet.
+* ``step(cycle)`` — advance one interconnect clock.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from .channel import Channel
+from .packet import Flit, Packet
+from .router import Router, RouterSpec
+from .routing import RoutingAlgorithm
+from .stats import NetworkStats
+from .topology import Coord, Direction, Mesh, injection_port
+from .vc import VcConfig
+
+
+@dataclass(frozen=True)
+class NocParams:
+    """Physical parameters of one network (Table III)."""
+
+    channel_width: int = 16          # bytes per flit
+    vc_buffer_depth: int = 8         # flits per VC
+    channel_latency: int = 1
+    credit_delay: int = 1
+    #: Capacity of each node's injection source queue in flits.  ``None``
+    #: means unbounded (open-loop convention: queueing time is part of
+    #: packet latency).  Closed-loop runs use a small bound so that a backed
+    #: up reply network stalls the memory controller.
+    source_queue_flits: Optional[int] = 16
+
+
+class _SourcePort:
+    """Injection state machine for one injection port of a node.
+
+    Writes at most one flit per cycle into the router's injection buffer,
+    keeping each packet contiguous within its chosen VC.
+    """
+
+    __slots__ = ("port_id", "fifo", "flits", "vc")
+
+    def __init__(self, port_id) -> None:
+        self.port_id = port_id
+        self.fifo: Deque[Packet] = deque()
+        self.flits: Optional[Deque[Flit]] = None
+        self.vc: Optional[int] = None
+
+
+class MeshNetwork:
+    """A single physical 2D-mesh network."""
+
+    def __init__(self, mesh: Mesh, specs: Dict[Coord, RouterSpec],
+                 params: NocParams, vc_config: VcConfig,
+                 routing: RoutingAlgorithm, seed: int = 1,
+                 name: str = "net") -> None:
+        self.mesh = mesh
+        self.params = params
+        self.vc_config = vc_config
+        self.routing = routing
+        self.name = name
+        self.cycle = 0
+        self.stats = NetworkStats()
+        self._rng = random.Random(seed)
+        self._handlers: Dict[Coord, Callable[[Packet, int], None]] = {}
+        self._reassembly: Dict[int, int] = {}
+
+        self.routers: Dict[Coord, Router] = {}
+        self.channels: List[Channel] = []
+        for coord in mesh.coords():
+            spec = specs.get(coord, RouterSpec(coord))
+            if spec.coord != coord:
+                raise ValueError(f"spec coord {spec.coord} placed at {coord}")
+            router = Router(spec, vc_config, params.vc_buffer_depth, routing)
+            router.attach_ejection(sink=self)
+            self.routers[coord] = router
+
+        for coord, router in self.routers.items():
+            for direction, neighbor in mesh.neighbors(coord):
+                channel = Channel(params.channel_latency, params.credit_delay)
+                dst = self.routers[neighbor]
+                dst_port = direction.opposite()
+                channel.connect(router, direction, dst, dst_port)
+                router.attach_output_channel(direction, channel)
+                dst.attach_input_channel(dst_port, channel)
+                self.channels.append(channel)
+
+        for router in self.routers.values():
+            router.finalize()
+
+        self._sources: Dict[Coord, List[_SourcePort]] = {}
+        self._source_occupancy: Dict[Coord, int] = {}
+        self._source_rr: Dict[Coord, int] = {}
+        for coord in mesh.coords():
+            ports = [
+                _SourcePort(injection_port(k))
+                for k in range(self.routers[coord].spec.num_inject_ports)
+            ]
+            self._sources[coord] = ports
+            self._source_occupancy[coord] = 0
+            self._source_rr[coord] = 0
+
+    # -- public interface ---------------------------------------------------
+
+    def set_ejection_handler(self, coord: Coord,
+                             handler: Callable[[Packet, int], None]) -> None:
+        self._handlers[coord] = handler
+
+    def carries(self, packet: Packet) -> bool:
+        return self.vc_config.carries(packet.traffic_class)
+
+    def source_queue_occupancy(self, coord: Coord) -> int:
+        return self._source_occupancy[coord]
+
+    def try_inject(self, packet: Packet, cycle: int) -> bool:
+        """Queue ``packet`` at its source network interface."""
+        num_flits = packet.num_flits(self.params.channel_width)
+        cap = self.params.source_queue_flits
+        occupancy = self._source_occupancy[packet.src]
+        if cap is not None and occupancy + num_flits > cap:
+            return False
+        self.routing.plan(packet, self._rng)
+        ports = self._sources[packet.src]
+        rr = self._source_rr[packet.src]
+        self._source_rr[packet.src] = (rr + 1) % len(ports)
+        ports[rr].fifo.append(packet)
+        self._source_occupancy[packet.src] = occupancy + num_flits
+        return True
+
+    def step(self, cycle: Optional[int] = None) -> None:
+        """Advance one interconnect cycle."""
+        self.cycle = self.cycle + 1 if cycle is None else cycle
+        now = self.cycle
+        self.stats.cycles = now
+        for channel in self.channels:
+            if channel.busy:
+                channel.deliver(now)
+        for router in self.routers.values():
+            if router.occupancy:
+                for flit, _port in router.step(now):
+                    self._eject(flit, now)
+        for coord, ports in self._sources.items():
+            router = self.routers[coord]
+            for port in ports:
+                self._drain_source(coord, router, port, now)
+
+    def channel_utilization(self) -> Dict[Tuple[Coord, Coord], float]:
+        """Flits carried per cycle for every directed mesh link — the
+        congestion map that exposes e.g. the top/bottom-row hotspots of the
+        baseline MC placement."""
+        if not self.cycle:
+            return {}
+        return {
+            (ch.src_router.coord, ch.dst_router.coord):
+                ch.flits_carried / self.cycle
+            for ch in self.channels
+        }
+
+    def peak_channel_utilization(self) -> float:
+        util = self.channel_utilization()
+        return max(util.values()) if util else 0.0
+
+    @property
+    def idle(self) -> bool:
+        """True when no flit is buffered, in flight, or waiting at a source."""
+        if any(occ for occ in self._source_occupancy.values()):
+            return False
+        if any(r.occupancy for r in self.routers.values()):
+            return False
+        return not any(c.busy for c in self.channels)
+
+    def run_until_idle(self, max_cycles: int = 1_000_000) -> int:
+        """Drain all traffic; returns the cycle count.  Test helper."""
+        start = self.cycle
+        while not self.idle:
+            if self.cycle - start > max_cycles:
+                raise RuntimeError("network failed to drain (deadlock?)")
+            self.step()
+        return self.cycle - start
+
+    # -- internals ----------------------------------------------------------
+
+    def _drain_source(self, coord: Coord, router: Router,
+                      port: _SourcePort, now: int) -> None:
+        if port.flits is None:
+            if not port.fifo:
+                return
+            packet = port.fifo[0]
+            vc = self._pick_injection_vc(router, port.port_id, packet)
+            if vc is None:
+                return
+            port.fifo.popleft()
+            port.flits = deque(packet.make_flits(self.params.channel_width))
+            port.vc = vc
+            packet.injected = now
+            self.stats.record_injection(packet, len(port.flits))
+        if router.injection_space(port.port_id, port.vc) > 0:
+            flit = port.flits.popleft()
+            router.deliver_flit(port.port_id, port.vc, flit, now)
+            self._source_occupancy[coord] -= 1
+            if not port.flits:
+                port.flits = None
+                port.vc = None
+
+    def _pick_injection_vc(self, router: Router, port_id,
+                           packet: Packet) -> Optional[int]:
+        allowed = self.vc_config.allowed_vcs(packet.traffic_class,
+                                             packet.group)
+        best_vc = None
+        best_space = 0
+        for vc in allowed:
+            space = router.injection_space(port_id, vc)
+            if space > best_space:
+                best_vc, best_space = vc, space
+        # Require room for the head flit now; the rest streams in over the
+        # following cycles as the VC drains.
+        return best_vc if best_space > 0 else None
+
+    def _eject(self, flit: Flit, now: int) -> None:
+        packet = flit.packet
+        total = packet.num_flits(self.params.channel_width)
+        got = self._reassembly.get(packet.pid, 0) + 1
+        if got < total:
+            self._reassembly[packet.pid] = got
+            return
+        self._reassembly.pop(packet.pid, None)
+        packet.ejected = now
+        self.stats.record_ejection(packet, total)
+        handler = self._handlers.get(packet.dest)
+        if handler is not None:
+            handler(packet, now)

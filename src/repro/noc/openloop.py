@@ -1,0 +1,145 @@
+"""Open-loop latency-versus-load harness (Figure 21).
+
+Compute nodes inject 1-flit read requests following a Bernoulli process;
+each MC injects a 4-flit read reply for every request it receives.  Source
+queues are unbounded, so queueing delay at a saturated source shows up as
+packet latency — the classic open-loop load-latency curve.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .packet import Packet, TrafficClass, read_reply, read_request
+from .topology import Coord
+from .traffic import DestinationPattern
+
+
+@dataclass
+class LoadLatencyPoint:
+    """One point on a load-latency curve."""
+
+    offered_rate: float          # request flits / cycle / compute node
+    mean_latency: float          # cycles, all packets, source queue included
+    mean_request_latency: float
+    mean_reply_latency: float
+    accepted_flits_per_cycle: float
+    packets_measured: int
+    saturated: bool
+
+
+class OpenLoopRunner:
+    """Drives one network instance at one offered load."""
+
+    def __init__(self, network, compute_nodes: Sequence[Coord],
+                 mc_nodes: Sequence[Coord], pattern: DestinationPattern,
+                 rate: float, seed: int = 7,
+                 saturation_latency: float = 300.0) -> None:
+        self.network = network
+        self.compute_nodes = list(compute_nodes)
+        self.mc_nodes = list(mc_nodes)
+        self.pattern = pattern
+        self.rate = rate
+        self.saturation_latency = saturation_latency
+        self._rng = random.Random(seed)
+        self._measuring = False
+        self._lat_sum = {TrafficClass.REQUEST: 0, TrafficClass.REPLY: 0}
+        self._lat_count = {TrafficClass.REQUEST: 0, TrafficClass.REPLY: 0}
+        self._measure_start = 0
+        for mc in self.mc_nodes:
+            network.set_ejection_handler(mc, self._on_request)
+        for core in self.compute_nodes:
+            network.set_ejection_handler(core, self._on_reply)
+
+    # -- handlers ------------------------------------------------------------
+
+    def _on_request(self, packet: Packet, cycle: int) -> None:
+        self._record(packet)
+        reply = read_reply(packet.dest, packet.src, created=cycle,
+                           payload=packet.payload)
+        accepted = self.network.try_inject(reply, cycle)
+        if not accepted:
+            raise RuntimeError("open-loop source queues must be unbounded")
+
+    def _on_reply(self, packet: Packet, cycle: int) -> None:
+        self._record(packet)
+
+    def _record(self, packet: Packet) -> None:
+        if not self._measuring or packet.payload != "measured":
+            return
+        self._lat_sum[packet.traffic_class] += packet.latency
+        self._lat_count[packet.traffic_class] += 1
+
+    # -- driving -------------------------------------------------------------
+
+    def run(self, warmup: int = 2_000, measure: int = 6_000,
+            drain: int = 0) -> LoadLatencyPoint:
+        for _ in range(warmup):
+            self._cycle(tag=None)
+        self._measuring = True
+        self._measure_start = self.network.cycle
+        for _ in range(measure):
+            self._cycle(tag="measured")
+        for _ in range(drain):
+            self.network.step()
+        return self._summarize(measure)
+
+    def _cycle(self, tag: Optional[str]) -> None:
+        net = self.network
+        cycle = net.cycle
+        for core in self.compute_nodes:
+            if self._rng.random() < self.rate:
+                dest = self.pattern.pick(core, self._rng)
+                packet = read_request(core, dest, created=cycle, payload=tag)
+                net.try_inject(packet, cycle)
+        net.step()
+
+    def _summarize(self, measure: int) -> LoadLatencyPoint:
+        req_n = self._lat_count[TrafficClass.REQUEST]
+        rep_n = self._lat_count[TrafficClass.REPLY]
+        total_n = req_n + rep_n
+        total = (self._lat_sum[TrafficClass.REQUEST]
+                 + self._lat_sum[TrafficClass.REPLY])
+        mean = total / total_n if total_n else float("inf")
+        mean_req = (self._lat_sum[TrafficClass.REQUEST] / req_n
+                    if req_n else float("inf"))
+        mean_rep = (self._lat_sum[TrafficClass.REPLY] / rep_n
+                    if rep_n else float("inf"))
+        stats = self.network.stats
+        accepted = stats.flits_ejected / stats.cycles if stats.cycles else 0.0
+        # Saturation shows either as latency blow-up or as a growing backlog
+        # (packets that never complete inside the measurement window).
+        backlog = stats.packets_injected - stats.packets_ejected
+        backlogged = stats.packets_injected > 0 and (
+            backlog > 0.2 * stats.packets_injected)
+        return LoadLatencyPoint(
+            offered_rate=self.rate,
+            mean_latency=mean,
+            mean_request_latency=mean_req,
+            mean_reply_latency=mean_rep,
+            accepted_flits_per_cycle=accepted,
+            packets_measured=total_n,
+            saturated=mean > self.saturation_latency
+            or mean_rep > self.saturation_latency     # reply path saturated
+            or backlogged or rep_n == 0,
+        )
+
+
+def sweep_load(network_factory, compute_nodes: Sequence[Coord],
+               mc_nodes: Sequence[Coord], pattern_factory, rates,
+               warmup: int = 2_000, measure: int = 6_000,
+               seed: int = 7) -> List[LoadLatencyPoint]:
+    """Run a load sweep, building a fresh network per offered rate.
+
+    ``network_factory`` returns a new network instance; ``pattern_factory``
+    maps the MC node list to a :class:`DestinationPattern`.
+    """
+    points = []
+    for rate in rates:
+        network = network_factory()
+        runner = OpenLoopRunner(network, compute_nodes, mc_nodes,
+                                pattern_factory(mc_nodes), rate, seed=seed)
+        points.append(runner.run(warmup=warmup, measure=measure))
+    return points

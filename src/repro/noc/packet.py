@@ -1,0 +1,144 @@
+"""Packets and flits.
+
+Traffic in the accelerator is many-to-few-to-many (Figure 1): compute cores
+send small read requests (8 B) and less frequent large write requests (64 B)
+to memory controllers, which answer with large read replies (64 B).  A packet
+is segmented into flits based on the channel width of the network carrying it
+(Section V, Table III: 16 B flits in the baseline).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, IntEnum
+from typing import List, Optional
+
+from .topology import Coord
+
+#: Packet payload sizes in bytes (Section III-D).
+READ_REQUEST_BYTES = 8
+WRITE_REQUEST_BYTES = 64
+READ_REPLY_BYTES = 64
+
+
+class TrafficClass(IntEnum):
+    """Protocol classes.  Separate (virtual or physical) networks carry the
+    two classes to avoid protocol (request-reply) deadlock."""
+
+    REQUEST = 0
+    REPLY = 1
+
+
+class RouteGroup(Enum):
+    """Which dimension-order a packet follows; selects the routing VC.
+
+    ``ANY`` is used by plain DOR configurations where every VC of the
+    protocol class is equivalent.  Checkerboard routing (Section IV-B)
+    dedicates one VC to XY-routed and one to YX-routed packets, like O1Turn.
+    """
+
+    ANY = "any"
+    XY = "xy"
+    YX = "yx"
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A message travelling through one network.
+
+    The routing plan (``group``, ``intermediate``) is attached at injection
+    time by the routing algorithm.  ``phase`` tracks progress of two-phase
+    checkerboard routes: 0 while heading to the intermediate full-router,
+    1 afterwards.
+    """
+
+    src: Coord
+    dest: Coord
+    size_bytes: int
+    traffic_class: TrafficClass
+    created: int = 0
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+
+    # Routing state
+    group: RouteGroup = RouteGroup.ANY
+    intermediate: Optional[Coord] = None
+    phase: int = 1
+
+    # Opaque payload for closed-loop simulation (e.g. the memory request).
+    payload: object = None
+
+    # Timestamps filled in by the network.
+    injected: int = -1
+    ejected: int = -1
+
+    def num_flits(self, channel_width: int) -> int:
+        if channel_width <= 0:
+            raise ValueError("channel width must be positive")
+        return max(1, -(-self.size_bytes // channel_width))
+
+    def make_flits(self, channel_width: int) -> List["Flit"]:
+        n = self.num_flits(channel_width)
+        return [
+            Flit(packet=self, index=i, is_head=(i == 0), is_tail=(i == n - 1))
+            for i in range(n)
+        ]
+
+    @property
+    def latency(self) -> int:
+        """Total latency: creation to tail ejection."""
+        if self.ejected < 0:
+            raise ValueError("packet not yet ejected")
+        return self.ejected - self.created
+
+    @property
+    def network_latency(self) -> int:
+        """Injection (first flit enters the router) to tail ejection."""
+        if self.ejected < 0 or self.injected < 0:
+            raise ValueError("packet not yet through the network")
+        return self.ejected - self.injected
+
+
+@dataclass
+class Flit:
+    """One channel-width unit of a packet (wormhole flow control)."""
+
+    packet: Packet
+    index: int
+    is_head: bool
+    is_tail: bool
+    #: Earliest cycle this flit may leave the current router (models the
+    #: router pipeline depth; set on buffer insertion).
+    ready: int = 0
+
+    @property
+    def dest(self) -> Coord:
+        return self.packet.dest
+
+    def __repr__(self) -> str:
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        return f"Flit(p{self.packet.pid}[{self.index}]{kind}->{self.dest})"
+
+
+def read_request(src: Coord, dest: Coord, created: int = 0,
+                 payload: object = None) -> Packet:
+    """An 8-byte read-request packet (core -> MC)."""
+    return Packet(src, dest, READ_REQUEST_BYTES, TrafficClass.REQUEST,
+                  created=created, payload=payload)
+
+
+def write_request(src: Coord, dest: Coord, created: int = 0,
+                  payload: object = None) -> Packet:
+    """A 64-byte write-request packet (core -> MC)."""
+    return Packet(src, dest, WRITE_REQUEST_BYTES, TrafficClass.REQUEST,
+                  created=created, payload=payload)
+
+
+def read_reply(src: Coord, dest: Coord, created: int = 0,
+               payload: object = None) -> Packet:
+    """A 64-byte read-reply packet (MC -> core)."""
+    return Packet(src, dest, READ_REPLY_BYTES, TrafficClass.REPLY,
+                  created=created, payload=payload)

@@ -1,0 +1,118 @@
+"""Network statistics: latency, throughput and per-node injection rates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .packet import Packet, TrafficClass
+from .topology import Coord
+
+
+@dataclass
+class _ClassStats:
+    packets: int = 0
+    flits: int = 0
+    latency_sum: int = 0
+    network_latency_sum: int = 0
+
+    def mean_latency(self) -> float:
+        return self.latency_sum / self.packets if self.packets else 0.0
+
+    def mean_network_latency(self) -> float:
+        return self.network_latency_sum / self.packets if self.packets else 0.0
+
+
+class NetworkStats:
+    """Counters kept by each network (and by the ideal-network models)."""
+
+    def __init__(self) -> None:
+        self.cycles = 0
+        self.flits_injected = 0
+        self.flits_ejected = 0
+        self.packets_injected = 0
+        self.packets_ejected = 0
+        self.per_class: Dict[TrafficClass, _ClassStats] = {
+            TrafficClass.REQUEST: _ClassStats(),
+            TrafficClass.REPLY: _ClassStats(),
+        }
+        self.node_injected_flits: Dict[Coord, int] = {}
+        self.node_ejected_flits: Dict[Coord, int] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def record_injection(self, packet: Packet, num_flits: int) -> None:
+        self.packets_injected += 1
+        self.flits_injected += num_flits
+        node = self.node_injected_flits
+        node[packet.src] = node.get(packet.src, 0) + num_flits
+
+    def record_ejection(self, packet: Packet, num_flits: int) -> None:
+        self.packets_ejected += 1
+        self.flits_ejected += num_flits
+        cs = self.per_class[packet.traffic_class]
+        cs.packets += 1
+        cs.flits += num_flits
+        cs.latency_sum += packet.latency
+        cs.network_latency_sum += packet.network_latency
+        node = self.node_ejected_flits
+        node[packet.dest] = node.get(packet.dest, 0) + num_flits
+
+    # -- derived metrics ----------------------------------------------------
+
+    @property
+    def packets_in_flight(self) -> int:
+        return self.packets_injected - self.packets_ejected
+
+    def mean_packet_latency(self) -> float:
+        packets = sum(c.packets for c in self.per_class.values())
+        if not packets:
+            return 0.0
+        total = sum(c.latency_sum for c in self.per_class.values())
+        return total / packets
+
+    def mean_network_latency(self) -> float:
+        packets = sum(c.packets for c in self.per_class.values())
+        if not packets:
+            return 0.0
+        total = sum(c.network_latency_sum for c in self.per_class.values())
+        return total / packets
+
+    def accepted_flit_rate(self) -> float:
+        """Ejected flits per cycle, summed over all nodes."""
+        return self.flits_ejected / self.cycles if self.cycles else 0.0
+
+    def injection_rate(self, node: Coord) -> float:
+        """Injected flits per cycle at ``node``."""
+        if not self.cycles:
+            return 0.0
+        return self.node_injected_flits.get(node, 0) / self.cycles
+
+    def mean_injection_rate(self, nodes: List[Coord]) -> float:
+        if not nodes:
+            return 0.0
+        return sum(self.injection_rate(n) for n in nodes) / len(nodes)
+
+
+def merge_stats(stats_list: List[NetworkStats]) -> NetworkStats:
+    """Aggregate statistics across the sub-networks of a sliced design."""
+    merged = NetworkStats()
+    for stats in stats_list:
+        merged.cycles = max(merged.cycles, stats.cycles)
+        merged.flits_injected += stats.flits_injected
+        merged.flits_ejected += stats.flits_ejected
+        merged.packets_injected += stats.packets_injected
+        merged.packets_ejected += stats.packets_ejected
+        for tclass, cs in stats.per_class.items():
+            target = merged.per_class[tclass]
+            target.packets += cs.packets
+            target.flits += cs.flits
+            target.latency_sum += cs.latency_sum
+            target.network_latency_sum += cs.network_latency_sum
+        for node, flits in stats.node_injected_flits.items():
+            merged.node_injected_flits[node] = (
+                merged.node_injected_flits.get(node, 0) + flits)
+        for node, flits in stats.node_ejected_flits.items():
+            merged.node_ejected_flits[node] = (
+                merged.node_ejected_flits.get(node, 0) + flits)
+    return merged

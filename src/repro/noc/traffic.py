@@ -1,0 +1,85 @@
+"""Synthetic open-loop traffic patterns.
+
+The paper's open-loop evaluation (Figure 21) uses many-to-few-to-many
+traffic: every compute node sends 1-flit read requests to the 8 MC nodes —
+uniformly, or with a hotspot where 20 % of requests target one MC — and
+each MC answers every request with a 4-flit read reply.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .topology import Coord
+
+
+class DestinationPattern:
+    """Chooses a destination for each generated packet."""
+
+    def pick(self, src: Coord, rng: random.Random) -> Coord:
+        raise NotImplementedError
+
+
+class UniformManyToFew(DestinationPattern):
+    """Uniform-random choice over the memory-controller nodes."""
+
+    def __init__(self, mc_nodes: Sequence[Coord]) -> None:
+        if not mc_nodes:
+            raise ValueError("need at least one MC node")
+        self.mc_nodes = list(mc_nodes)
+
+    def pick(self, src: Coord, rng: random.Random) -> Coord:
+        return rng.choice(self.mc_nodes)
+
+
+class HotspotManyToFew(DestinationPattern):
+    """Hotspot traffic: ``hotspot_fraction`` of requests go to one MC (the
+    paper uses 20 % versus the uniform 1/8 = 12.5 %), the rest uniformly to
+    the other MCs."""
+
+    def __init__(self, mc_nodes: Sequence[Coord],
+                 hotspot_fraction: float = 0.2,
+                 hotspot: Optional[Coord] = None) -> None:
+        if not 0.0 < hotspot_fraction <= 1.0:
+            raise ValueError("hotspot fraction must be in (0, 1]")
+        self.mc_nodes = list(mc_nodes)
+        self.hotspot = hotspot if hotspot is not None else self.mc_nodes[0]
+        if self.hotspot not in self.mc_nodes:
+            raise ValueError("hotspot must be one of the MC nodes")
+        self.hotspot_fraction = hotspot_fraction
+        self._others = [m for m in self.mc_nodes if m != self.hotspot]
+
+    def pick(self, src: Coord, rng: random.Random) -> Coord:
+        if not self._others or rng.random() < self.hotspot_fraction:
+            return self.hotspot
+        return rng.choice(self._others)
+
+
+class UniformRandom(DestinationPattern):
+    """Uniform-random all-to-all over a node set (excluding the source);
+    used for substrate validation rather than paper experiments."""
+
+    def __init__(self, nodes: Sequence[Coord]) -> None:
+        if len(nodes) < 2:
+            raise ValueError("need at least two nodes")
+        self.nodes = list(nodes)
+
+    def pick(self, src: Coord, rng: random.Random) -> Coord:
+        dest = rng.choice(self.nodes)
+        while dest == src:
+            dest = rng.choice(self.nodes)
+        return dest
+
+
+class BernoulliInjector:
+    """Per-node Bernoulli injection process at a given packet rate."""
+
+    def __init__(self, rate: float, rng: random.Random) -> None:
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        self.rate = rate
+        self._rng = rng
+
+    def fires(self) -> bool:
+        return self._rng.random() < self.rate

@@ -1,0 +1,84 @@
+"""Virtual-channel configuration.
+
+The VC space of a network is organized as ``num_classes`` protocol classes
+(request / reply — needed for protocol deadlock avoidance when one physical
+network carries both) times ``vcs_per_class`` routing VCs.  Checkerboard
+routing needs two routing VCs per class (one for XY-routed, one for
+YX-routed packets, Section IV-B); plain DOR treats all VCs of a class as
+equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .packet import RouteGroup, TrafficClass
+
+
+@dataclass(frozen=True)
+class VcConfig:
+    """Describes how VC indices map to (protocol class, route group)."""
+
+    vcs_per_class: int = 2
+    #: Maps a packet's traffic class to a class index within this network.
+    #: A shared network uses {REQUEST: 0, REPLY: 1}; a dedicated network in
+    #: the channel-sliced design maps its single class to 0.
+    class_map: Tuple[Tuple[TrafficClass, int], ...] = (
+        (TrafficClass.REQUEST, 0),
+        (TrafficClass.REPLY, 1),
+    )
+    #: When True, the first half of each class's VCs carries XY packets and
+    #: the second half carries YX packets (checkerboard routing).
+    route_split: bool = False
+
+    @property
+    def num_classes(self) -> int:
+        return len(set(idx for _, idx in self.class_map))
+
+    @property
+    def num_vcs(self) -> int:
+        return self.num_classes * self.vcs_per_class
+
+    def class_index(self, tclass: TrafficClass) -> int:
+        for klass, idx in self.class_map:
+            if klass == tclass:
+                return idx
+        raise ValueError(f"this network does not carry {tclass!r}")
+
+    def carries(self, tclass: TrafficClass) -> bool:
+        return any(klass == tclass for klass, _ in self.class_map)
+
+    def allowed_vcs(self, tclass: TrafficClass,
+                    group: RouteGroup) -> Tuple[int, ...]:
+        """VC indices a packet of (class, route group) may occupy."""
+        base = self.class_index(tclass) * self.vcs_per_class
+        vcs = tuple(range(base, base + self.vcs_per_class))
+        if not self.route_split or group is RouteGroup.ANY:
+            return vcs
+        half = self.vcs_per_class // 2
+        if half == 0:
+            raise ValueError("route_split needs at least 2 VCs per class")
+        if group is RouteGroup.XY:
+            return vcs[:half]
+        if group is RouteGroup.YX:
+            return vcs[half:]
+        raise ValueError(f"unknown route group {group!r}")
+
+
+def shared_vc_config(vcs_per_class: int = 1,
+                     route_split: bool = False) -> VcConfig:
+    """One physical network carrying both protocol classes (baseline)."""
+    return VcConfig(vcs_per_class=vcs_per_class,
+                    class_map=((TrafficClass.REQUEST, 0),
+                               (TrafficClass.REPLY, 1)),
+                    route_split=route_split)
+
+
+def dedicated_vc_config(tclass: TrafficClass, num_vcs: int = 2,
+                        route_split: bool = False) -> VcConfig:
+    """A network dedicated to one protocol class (channel-sliced design,
+    Section IV-C: no extra VCs needed for protocol deadlock)."""
+    return VcConfig(vcs_per_class=num_vcs,
+                    class_map=((tclass, 0),),
+                    route_split=route_split)

@@ -1,0 +1,21 @@
+"""Closed-loop system: clocks, configuration, the full chip, metrics."""
+
+from .accelerator import (Accelerator, SimulationResult,
+                          bandwidth_capped_chip, build_chip, perfect_chip)
+from .clocks import ClockConfig, RateAccumulator
+from .config import ChipConfig, paper_config, scaled_config
+from .limit_study import (BALANCED_FRACTION, LimitPoint, cap_flits_per_cycle,
+                          equivalent_channel_bytes, mesh_area_for_fraction,
+                          run_limit_study)
+from .metrics import (classify, geometric_mean, harmonic_mean, hm_speedup,
+                      per_benchmark_speedups)
+
+__all__ = [
+    "Accelerator", "BALANCED_FRACTION", "ChipConfig", "ClockConfig",
+    "LimitPoint", "RateAccumulator", "SimulationResult",
+    "bandwidth_capped_chip", "build_chip", "cap_flits_per_cycle",
+    "classify", "equivalent_channel_bytes", "geometric_mean",
+    "harmonic_mean", "hm_speedup", "mesh_area_for_fraction", "paper_config",
+    "per_benchmark_speedups", "perfect_chip", "run_limit_study",
+    "scaled_config",
+]

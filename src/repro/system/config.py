@@ -1,0 +1,54 @@
+"""Simulation configuration: Tables II and III as one dataclass tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..gpu.core import CoreConfig
+from ..mem.controller import McConfig
+from ..mem.dram import DramTiming
+from .clocks import ClockConfig
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """Machine parameters of the modelled accelerator (Table II)."""
+
+    num_compute_cores: int = 28
+    num_memory_channels: int = 8
+    mesh_cols: int = 6
+    mesh_rows: int = 6
+    core: CoreConfig = field(default_factory=CoreConfig)
+    mc: McConfig = field(default_factory=McConfig)
+    clocks: ClockConfig = field(default_factory=ClockConfig)
+
+    def __post_init__(self) -> None:
+        nodes = self.mesh_cols * self.mesh_rows
+        if self.num_compute_cores + self.num_memory_channels != nodes:
+            raise ValueError(
+                f"{self.num_compute_cores} cores + "
+                f"{self.num_memory_channels} MCs != {nodes} mesh nodes")
+
+    @property
+    def peak_scalar_ipc(self) -> float:
+        """Peak scalar instructions per core clock, chip wide."""
+        return self.num_compute_cores * self.core.simd_width
+
+    def peak_dram_bytes_per_icnt_cycle(self) -> float:
+        """Aggregate DRAM data bandwidth expressed per interconnect cycle —
+        the denominator of Figure 6's bandwidth-limit axis."""
+        per_mclk = self.num_memory_channels * self.mc.dram.bytes_per_cycle
+        return per_mclk * self.clocks.dram_per_icnt
+
+
+def paper_config() -> ChipConfig:
+    """The configuration of Table II."""
+    return ChipConfig()
+
+
+def scaled_config(num_cores: int, num_mcs: int, cols: int,
+                  rows: int) -> ChipConfig:
+    """A scaled machine for sensitivity studies (keeps per-node parameters)."""
+    return replace(paper_config(), num_compute_cores=num_cores,
+                   num_memory_channels=num_mcs, mesh_cols=cols,
+                   mesh_rows=rows)

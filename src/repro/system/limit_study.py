@@ -1,0 +1,94 @@
+"""The bandwidth limit study of Section III-A (Figure 6).
+
+Closed-loop runs with a zero-latency network whose aggregate accepted
+bandwidth is capped at a fraction of peak off-chip DRAM bandwidth.  Two
+curves result: harmonic-mean application throughput (normalised to the
+infinite-bandwidth network) and throughput per estimated chip area, whose
+optimum around 0.7-0.8 of DRAM bandwidth justifies the 16-byte-channel
+"balanced mesh".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..area.chip import compute_area_mm2, design_noc_area
+from ..core.builder import BASELINE
+from ..system.accelerator import bandwidth_capped_chip, perfect_chip
+from ..workloads.profiles import PROFILES, BenchmarkProfile
+from .config import ChipConfig, paper_config
+from .metrics import harmonic_mean
+
+#: The bisection-bandwidth fraction at which the balanced mesh's 16-byte
+#: channels sit (Section III-A footnote 3: x = 0.816 at N = 12 flits/iclk).
+BALANCED_FRACTION = 0.816
+_BALANCED_CHANNEL_BYTES = 16.0
+
+
+@dataclass(frozen=True)
+class LimitPoint:
+    fraction: float                 # of peak DRAM bandwidth
+    hm_ipc: float
+    normalized_throughput: float    # vs the infinite-bandwidth network
+    chip_area: float                # compute + scaled-mesh NoC estimate
+    normalized_per_area: float      # throughput/area, normalised likewise
+
+
+def equivalent_channel_bytes(fraction: float) -> float:
+    """Mesh channel width whose bisection provides ``fraction`` of DRAM
+    bandwidth (linear through the calibrated 16 B at 0.816)."""
+    return _BALANCED_CHANNEL_BYTES * fraction / BALANCED_FRACTION
+
+
+def mesh_area_for_fraction(fraction: float) -> float:
+    """Estimated chip area of a mesh sized to ``fraction`` (NoC area grows
+    quadratically with channel bandwidth, Section III-A)."""
+    width = equivalent_channel_bytes(fraction)
+    design = replace(BASELINE, name=f"mesh-{width:.1f}B",
+                     channel_width=width)
+    return design_noc_area(design).total_chip
+
+
+def cap_flits_per_cycle(fraction: float,
+                        config: Optional[ChipConfig] = None,
+                        flit_bytes: float = 16.0) -> float:
+    """Aggregate flit budget equal to ``fraction`` of peak DRAM bandwidth."""
+    config = config if config is not None else paper_config()
+    return fraction * config.peak_dram_bytes_per_icnt_cycle() / flit_bytes
+
+
+def run_limit_study(fractions: Sequence[float],
+                    profiles: Optional[Sequence[BenchmarkProfile]] = None,
+                    config: Optional[ChipConfig] = None,
+                    warmup: int = 400, measure: int = 800,
+                    seed: int = 11) -> List[LimitPoint]:
+    """Sweep the bandwidth cap; returns one point per fraction."""
+    profiles = list(profiles) if profiles is not None else list(PROFILES)
+    config = config if config is not None else paper_config()
+
+    perfect_ipc: Dict[str, float] = {}
+    for profile in profiles:
+        chip = perfect_chip(profile, config=config, seed=seed)
+        perfect_ipc[profile.abbr] = chip.run(warmup, measure).ipc
+    perfect_hm = harmonic_mean(list(perfect_ipc.values()))
+    perfect_per_area = perfect_hm / compute_area_mm2()
+
+    points = []
+    for fraction in fractions:
+        cap = cap_flits_per_cycle(fraction, config)
+        ipcs = []
+        for profile in profiles:
+            chip = bandwidth_capped_chip(profile, cap, config=config,
+                                         seed=seed)
+            ipcs.append(chip.run(warmup, measure).ipc)
+        hm = harmonic_mean(ipcs)
+        area = mesh_area_for_fraction(fraction)
+        points.append(LimitPoint(
+            fraction=fraction,
+            hm_ipc=hm,
+            normalized_throughput=hm / perfect_hm,
+            chip_area=area,
+            normalized_per_area=(hm / area) / perfect_per_area,
+        ))
+    return points

@@ -1,0 +1,55 @@
+"""Aggregate metrics used by the evaluation (harmonic means, speedups)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """The paper aggregates IPC across benchmarks with the harmonic mean."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("need at least one value")
+    if any(v <= 0 for v in vals):
+        raise ValueError("harmonic mean needs positive values")
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("need at least one value")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def hm_speedup(ipc_new: Dict[str, float], ipc_base: Dict[str, float]) -> float:
+    """Speedup of the harmonic-mean IPC over matched benchmark sets."""
+    keys = sorted(ipc_new)
+    if keys != sorted(ipc_base):
+        raise ValueError("benchmark sets differ")
+    new = harmonic_mean([ipc_new[k] for k in keys])
+    base = harmonic_mean([ipc_base[k] for k in keys])
+    return new / base - 1.0
+
+
+def per_benchmark_speedups(ipc_new: Dict[str, float],
+                           ipc_base: Dict[str, float]) -> Dict[str, float]:
+    """Per-benchmark relative speedups over a matched baseline set."""
+    if sorted(ipc_new) != sorted(ipc_base):
+        raise ValueError("benchmark sets differ")
+    return {k: ipc_new[k] / ipc_base[k] - 1.0 for k in ipc_new}
+
+
+def classify(speedup: float, traffic_bytes_per_cycle: float,
+             speedup_threshold: float = 0.30,
+             traffic_threshold: float = 1.0) -> str:
+    """The two-letter benchmark classification of Section III-B: first
+    letter = perfect-NoC speedup high/low (30 %), second = accepted traffic
+    heavy/light (1 byte/cycle/node)."""
+    first = "H" if speedup > speedup_threshold else "L"
+    second = "H" if traffic_bytes_per_cycle > traffic_threshold else "L"
+    return first + second

@@ -1,0 +1,11 @@
+"""Synthetic accelerator workloads standing in for the CUDA suite (Table I)."""
+
+from .generator import (LINE_BYTES, SyntheticKernel,
+                        expected_global_access_rate)
+from .profiles import (BY_ABBR, GROUPS, PROFILES, BenchmarkProfile, profile,
+                       rodinia)
+
+__all__ = [
+    "BY_ABBR", "BenchmarkProfile", "GROUPS", "LINE_BYTES", "PROFILES",
+    "SyntheticKernel", "expected_global_access_rate", "profile", "rodinia",
+]

@@ -1,0 +1,181 @@
+"""Synthetic kernel generator.
+
+Turns a :class:`~repro.workloads.profiles.BenchmarkProfile` into per-warp
+instruction streams for the SIMT cores.  Address streams combine three
+behaviours whose mix the profile controls:
+
+* **reuse** — re-touching a line from the warp's recent-access window
+  (produces L1 hits and models tiled/blocked kernels);
+* **streaming** — grid-stride sequential lines within the core's working-set
+  slice (produces DRAM row-buffer hits, models scans/reductions);
+* **random** — uniform lines within the slice (models irregular access,
+  poor row locality).
+
+Streaming is organised the way real BSP kernels behave: the warps of a core
+interleave through one shared region (warp ``w`` takes lines
+``w, w+N, w+2N, ...`` of the region for ``N`` warps), so concurrently
+executing warps touch neighbouring DRAM rows, and each core starts at a
+random phase so cores do not sweep the address-interleaved MCs in lockstep.
+
+Divergence controls how many distinct lines one warp memory instruction
+touches after coalescing (1 = fully coalesced ... 32 = one line per
+thread, as in MUMmerGPU/BFS pointer chasing).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ..gpu.instruction import ALU, SHARED, WarpInstruction, load, store
+from ..noc.topology import Coord
+from .profiles import BenchmarkProfile
+
+LINE_BYTES = 64
+
+
+class _CoreRegion:
+    """The shared working-set slice of one core."""
+
+    __slots__ = ("base_line", "num_lines", "phase")
+
+    def __init__(self, base_line: int, num_lines: int, phase: int) -> None:
+        self.base_line = base_line
+        self.num_lines = num_lines
+        self.phase = phase
+
+
+class _WarpStream:
+    """Address-stream state for one warp."""
+
+    __slots__ = ("rng", "region", "warp_id", "stride", "cursor", "recent")
+
+    def __init__(self, region: _CoreRegion, warp_id: int, stride: int,
+                 seed: int, window: int) -> None:
+        self.rng = random.Random(seed)
+        self.region = region
+        self.warp_id = warp_id
+        self.stride = stride
+        self.cursor = 0
+        self.recent: Deque[int] = deque(maxlen=window)
+
+    def next_line(self, reuse: float, streaming: float) -> int:
+        rng = self.rng
+        if self.recent and rng.random() < reuse:
+            return self.recent[rng.randrange(len(self.recent))]
+        region = self.region
+        if rng.random() < streaming:
+            # Grid-stride loop: this warp's cursor-th element.
+            index = (region.phase + self.warp_id
+                     + self.cursor * self.stride) % region.num_lines
+            self.cursor += 1
+        else:
+            index = rng.randrange(region.num_lines)
+        line = (region.base_line + index) * LINE_BYTES
+        self.recent.append(line)
+        return line
+
+
+class SyntheticKernel:
+    """Instruction source shared by all cores running one benchmark.
+
+    Implements the ``program`` interface of :class:`repro.gpu.core.SimtCore`
+    (``next_instruction(core_coord, warp_id)``).  Streams are infinite when
+    ``instructions_per_warp`` is ``None`` (steady-state measurement runs) or
+    finite otherwise (examples and drain tests).
+    """
+
+    def __init__(self, profile: BenchmarkProfile, seed: int = 11,
+                 instructions_per_warp: Optional[int] = None,
+                 reuse_window: int = 48) -> None:
+        self.profile = profile
+        self.seed = seed
+        self.instructions_per_warp = instructions_per_warp
+        self.reuse_window = reuse_window
+        self._streams: Dict[Tuple[Coord, int], _WarpStream] = {}
+        self._issued: Dict[Tuple[Coord, int], int] = {}
+        self._regions: Dict[Coord, _CoreRegion] = {}
+
+    # -- program interface ---------------------------------------------------
+
+    def next_instruction(self, core: Coord,
+                         warp_id: int) -> Optional[WarpInstruction]:
+        key = (core, warp_id)
+        if self.instructions_per_warp is not None:
+            issued = self._issued.get(key, 0)
+            if issued >= self.instructions_per_warp:
+                return None
+            self._issued[key] = issued + 1
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = self._make_stream(core, warp_id)
+            self._streams[key] = stream
+        return self._generate(stream)
+
+    # -- generation ------------------------------------------------------------
+
+    def _region(self, core: Coord) -> _CoreRegion:
+        region = self._regions.get(core)
+        if region is None:
+            core_id = len(self._regions)
+            p = self.profile
+            num_lines = p.footprint_lines * p.warps_per_core
+            rng = random.Random(hash((self.seed, p.abbr, core_id, "region"))
+                                & 0x7FFFFFFF)
+            region = _CoreRegion(core_id * num_lines, num_lines,
+                                 rng.randrange(num_lines))
+            self._regions[core] = region
+        return region
+
+    def _make_stream(self, core: Coord, warp_id: int) -> _WarpStream:
+        p = self.profile
+        seed = hash((self.seed, p.abbr, core, warp_id)) & 0x7FFFFFFF
+        return _WarpStream(self._region(core), warp_id, p.warps_per_core,
+                           seed, self.reuse_window)
+
+    def _generate(self, stream: _WarpStream) -> WarpInstruction:
+        p = self.profile
+        rng = stream.rng
+        if rng.random() >= p.mem_fraction:
+            if p.simd_efficiency >= 1.0:
+                return ALU
+            return WarpInstruction(ALU.kind,
+                                   active_threads=self._sample_active_threads(rng))
+        if rng.random() < p.shared_fraction:
+            if p.simd_efficiency >= 1.0:
+                return SHARED
+            return WarpInstruction(SHARED.kind,
+                                   active_threads=self._sample_active_threads(rng))
+        num_lines = self._sample_divergence(rng)
+        lines = tuple(stream.next_line(p.reuse, p.streaming)
+                      for _ in range(num_lines))
+        active = self._sample_active_threads(rng)
+        if rng.random() < p.store_fraction:
+            return store(lines, active_threads=active)
+        return load(lines, active_threads=active)
+
+    def _sample_active_threads(self, rng: random.Random) -> int:
+        """SIMT mask width under control divergence: mean of
+        32 * simd_efficiency, jittered uniformly."""
+        eff = self.profile.simd_efficiency
+        if eff >= 1.0:
+            return 32
+        mean = 32 * eff
+        lo = max(1, int(mean * 0.5))
+        hi = min(32, int(mean * 1.5) + 1)
+        return rng.randint(lo, hi)
+
+    def _sample_divergence(self, rng: random.Random) -> int:
+        mean = self.profile.divergence
+        if mean <= 1:
+            return 1
+        # Uniform on [1, 2*mean - 1]: integer mean of `mean`, bounded by the
+        # warp size.
+        return min(32, rng.randint(1, 2 * mean - 1))
+
+
+def expected_global_access_rate(profile: BenchmarkProfile) -> float:
+    """Expected global-memory instructions per issued instruction — a quick
+    analytic sanity metric used in tests and docs."""
+    return profile.mem_fraction * (1.0 - profile.shared_fraction)

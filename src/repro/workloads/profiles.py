@@ -1,0 +1,163 @@
+"""Benchmark characteristics (Table I substitute).
+
+The paper evaluates 31 CUDA benchmarks from the Rodinia suite, the CUDA SDK
+and Bakhoda et al.'s ISPASS suite.  We cannot run CUDA binaries, so each
+benchmark is represented by a :class:`BenchmarkProfile` — the parameters of
+a synthetic kernel that reproduces the benchmark's *traffic behaviour*:
+memory intensity, scratchpad usage, coalescing/divergence, locality
+(L1 reuse and DRAM row-buffer streaming), store mix and warp occupancy.
+
+Parameters were set from the paper's own characterization: Figure 7 places
+every benchmark in one of three classes —
+
+* ``LL`` — low perfect-NoC speedup, light traffic (heavy scratchpad use or
+  high L1 hit rates);
+* ``LH`` — low speedup, heavy traffic (bandwidth demand the balanced mesh
+  already sustains; NNC is the special case of too few threads);
+* ``HH`` — high speedup, heavy traffic (the memory-bound group whose
+  performance tracks MC injection rate, Figure 8).
+
+``expected_group`` records the paper's classification so experiments can
+compare the reproduced class against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Synthetic-kernel parameters for one benchmark."""
+
+    abbr: str
+    name: str
+    suite: str
+    expected_group: str        # "LL", "LH" or "HH" (Figure 7)
+    warps_per_core: int        # occupancy (NNC: insufficient threads)
+    mem_fraction: float        # instructions that touch memory
+    shared_fraction: float     # of memory instrs served by the scratchpad
+    store_fraction: float      # of global accesses that are stores
+    reuse: float               # P(address re-used from the recent window)
+    streaming: float           # P(new address is sequential, not random)
+    divergence: int            # mean cache lines per global access (1..32)
+    footprint_lines: int       # working-set lines per warp
+    #: Mean fraction of the warp's 32 threads active per instruction —
+    #: models SIMT control divergence (immediate post-dominator
+    #: reconvergence).  1.0 = no branch divergence.
+    simd_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.mem_fraction <= 1:
+            raise ValueError(f"{self.abbr}: bad mem_fraction")
+        for field_name in ("shared_fraction", "store_fraction", "reuse",
+                           "streaming"):
+            value = getattr(self, field_name)
+            if not 0 <= value <= 1:
+                raise ValueError(f"{self.abbr}: bad {field_name}")
+        if not 1 <= self.divergence <= 32:
+            raise ValueError(f"{self.abbr}: divergence must be in 1..32")
+        if self.warps_per_core < 1:
+            raise ValueError(f"{self.abbr}: need at least one warp")
+        if self.expected_group not in ("LL", "LH", "HH"):
+            raise ValueError(f"{self.abbr}: bad group")
+        if not 0.0 < self.simd_efficiency <= 1.0:
+            raise ValueError(f"{self.abbr}: bad simd_efficiency")
+
+
+def _p(abbr, name, suite, group, w, mf, sh, st, ru, sm, div, fl,
+       simd=1.0):
+    return BenchmarkProfile(abbr, name, suite, group, w, mf, sh, st, ru,
+                            sm, div, fl, simd)
+
+
+#: All 31 benchmarks of Table I, in the paper's figure order.
+PROFILES: Tuple[BenchmarkProfile, ...] = (
+    # -- LL: low speedup with a perfect NoC, light traffic ------------------
+    _p("AES", "AES Cryptography", "ispass", "LL",
+       32, 0.26, 0.85, 0.05, 0.80, 0.90, 1, 512),
+    _p("BIN", "Binomial Option Pricing", "sdk", "LL",
+       32, 0.09, 0.60, 0.05, 0.85, 0.90, 1, 512),
+    _p("HSP", "HotSpot", "rodinia", "LL",
+       24, 0.12, 0.55, 0.10, 0.80, 0.95, 1, 768),
+    _p("NE", "Neural Network Digit Recognition", "ispass", "LL",
+       32, 0.08, 0.30, 0.05, 0.90, 0.90, 1, 512),
+    _p("NDL", "Needleman-Wunsch", "rodinia", "LL",
+       16, 0.15, 0.60, 0.10, 0.75, 0.80, 1, 768),
+    _p("HW", "Heart Wall Tracking", "rodinia", "LL",
+       24, 0.10, 0.50, 0.05, 0.85, 0.90, 1, 512),
+    _p("LE", "Leukocyte", "rodinia", "LL",
+       32, 0.08, 0.60, 0.03, 0.90, 0.95, 1, 512),
+    _p("HIS", "64-bin Histogram", "sdk", "LL",
+       32, 0.10, 0.75, 0.10, 0.70, 0.60, 2, 768),
+    _p("LU", "LU Decomposition", "rodinia", "LL",
+       24, 0.10, 0.40, 0.15, 0.85, 0.90, 1, 768),
+    _p("SLA", "Scan of Large Arrays", "sdk", "LL",
+       32, 0.10, 0.60, 0.20, 0.80, 1.00, 1, 1024),
+    _p("BP", "Back Propagation", "rodinia", "LL",
+       32, 0.09, 0.55, 0.10, 0.80, 0.90, 1, 768),
+    # -- LH: low speedup, heavy traffic --------------------------------------
+    _p("CON", "Separable Convolution", "sdk", "LH",
+       32, 0.18, 0.35, 0.08, 0.60, 0.95, 1, 2048),
+    _p("NNC", "Nearest Neighbor", "rodinia", "LH",
+       8, 0.30, 0.00, 0.02, 0.65, 0.90, 1, 2048),
+    _p("BLK", "Black-Scholes Option Pricing", "sdk", "LH",
+       32, 0.20, 0.00, 0.15, 0.50, 1.00, 1, 2048),
+    _p("MM", "Matrix Multiplication", "other", "LH",
+       32, 0.20, 0.50, 0.03, 0.65, 0.90, 1, 2048),
+    _p("LPS", "3D Laplace Solver", "ispass", "LH",
+       24, 0.18, 0.40, 0.12, 0.60, 0.90, 1, 2048),
+    _p("RAY", "Ray Tracing", "ispass", "LH",
+       24, 0.10, 0.10, 0.05, 0.65, 0.50, 3, 2048, simd=0.75),
+    _p("DG", "gpuDG", "ispass", "LH",
+       24, 0.14, 0.30, 0.05, 0.55, 0.85, 2, 2048),
+    _p("SS", "Similarity Score", "rodinia", "LH",
+       32, 0.20, 0.20, 0.10, 0.60, 0.80, 1, 2048),
+    _p("TRA", "Matrix Transpose", "sdk", "LH",
+       32, 0.10, 0.30, 0.30, 0.40, 0.40, 3, 2048),
+    _p("SR", "Speckle Reducing Anisotropic Diffusion", "rodinia", "LH",
+       32, 0.18, 0.30, 0.12, 0.60, 0.90, 1, 2048),
+    _p("WP", "Weather Prediction", "ispass", "LH",
+       24, 0.11, 0.20, 0.25, 0.55, 0.80, 2, 2048),
+    # -- HH: high speedup, heavy traffic -------------------------------------
+    _p("MUM", "MUMmerGPU", "rodinia", "HH",
+       24, 0.30, 0.00, 0.02, 0.25, 0.10, 8, 8192, simd=0.55),
+    _p("LIB", "LIBOR Monte Carlo", "ispass", "HH",
+       32, 0.35, 0.05, 0.10, 0.20, 0.80, 2, 8192),
+    _p("FWT", "Fast Walsh Transform", "sdk", "HH",
+       32, 0.30, 0.15, 0.30, 0.30, 0.60, 2, 8192),
+    _p("SCP", "Scalar Product", "sdk", "HH",
+       32, 0.40, 0.05, 0.02, 0.10, 1.00, 1, 8192),
+    _p("STC", "Streamcluster", "rodinia", "HH",
+       32, 0.35, 0.00, 0.05, 0.25, 0.90, 1, 8192),
+    _p("KM", "Kmeans", "rodinia", "HH",
+       32, 0.30, 0.10, 0.10, 0.30, 0.70, 2, 8192),
+    _p("CFD", "CFD Solver", "rodinia", "HH",
+       24, 0.35, 0.05, 0.15, 0.25, 0.50, 3, 8192, simd=0.85),
+    _p("BFS", "BFS Graph Traversal", "rodinia", "HH",
+       32, 0.30, 0.00, 0.10, 0.20, 0.20, 6, 8192, simd=0.60),
+    _p("RD", "Parallel Reduction", "sdk", "HH",
+       32, 0.45, 0.10, 0.02, 0.05, 1.00, 1, 8192),
+)
+
+BY_ABBR: Dict[str, BenchmarkProfile] = {p.abbr: p for p in PROFILES}
+
+GROUPS: Dict[str, List[str]] = {
+    group: [p.abbr for p in PROFILES if p.expected_group == group]
+    for group in ("LL", "LH", "HH")
+}
+
+
+def profile(abbr: str) -> BenchmarkProfile:
+    """Look up a Table I benchmark by its abbreviation."""
+    try:
+        return BY_ABBR[abbr]
+    except KeyError:
+        raise KeyError(f"unknown benchmark {abbr!r}; "
+                       f"known: {sorted(BY_ABBR)}") from None
+
+
+def rodinia() -> List[BenchmarkProfile]:
+    """The Rodinia subset (the paper reports a separate HM for it)."""
+    return [p for p in PROFILES if p.suite == "rodinia"]

@@ -1,0 +1,131 @@
+"""Closed-loop accelerator tests: conservation, completion, metrics."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.builder import BASELINE, THROUGHPUT_EFFECTIVE
+from repro.system.accelerator import (Accelerator, bandwidth_capped_chip,
+                                      build_chip, perfect_chip)
+from repro.system.config import ChipConfig, paper_config
+from repro.workloads.generator import SyntheticKernel
+from repro.workloads.profiles import profile
+
+
+class TestConstruction:
+    def test_factory_requires_one_network_source(self):
+        with pytest.raises(ValueError):
+            build_chip(profile("RD"))
+        from repro.noc.ideal import PerfectNetwork
+        with pytest.raises(ValueError):
+            build_chip(profile("RD"), design=BASELINE,
+                       network=PerfectNetwork())
+
+    def test_paper_node_counts(self):
+        chip = build_chip(profile("AES"), design=BASELINE)
+        assert len(chip.cores) == 28
+        assert len(chip.mcs) == 8
+
+    def test_clock_domains_advance_at_ratios(self):
+        chip = build_chip(profile("AES"), design=BASELINE)
+        for _ in range(602):
+            chip.step()
+        assert chip.icnt_cycle == 602
+        assert abs(chip.core_cycle - 1296) <= 2
+        assert abs(chip.dram_cycle - 1107) <= 2
+
+    def test_warp_count_clamped_by_profile(self):
+        chip = build_chip(profile("NNC"), design=BASELINE)
+        assert len(chip.cores[0].warps) == profile("NNC").warps_per_core
+
+
+class TestConservation:
+    def test_finite_kernel_completes_and_conserves(self):
+        """Every issued read must come back: run to completion and check
+        request/reply conservation across the full closed loop."""
+        chip = build_chip(profile("HSP"), design=BASELINE,
+                          instructions_per_warp=20)
+        result = chip.run_to_completion(max_cycles=200_000)
+        assert chip.finished
+        reads = sum(mc.reads for mc in chip.mcs)
+        replies = sum(mc.replies_sent for mc in chip.mcs)
+        assert reads == replies
+        assert all(len(core.mshrs) == 0 for core in chip.cores)
+        expected = 20 * 32 * len(chip.cores) * len(chip.cores[0].warps) / \
+            len(chip.cores)
+        assert result.retired_scalar == 20 * 32 * sum(
+            len(c.warps) for c in chip.cores)
+
+    def test_finite_kernel_on_perfect_network(self):
+        chip = build_chip(profile("HSP"), network=__import__(
+            "repro.noc.ideal", fromlist=["PerfectNetwork"]).PerfectNetwork(),
+            instructions_per_warp=10)
+        chip.run_to_completion(max_cycles=100_000)
+        assert chip.finished
+
+    def test_infinite_kernel_never_finishes(self):
+        chip = build_chip(profile("AES"), design=BASELINE)
+        for _ in range(200):
+            chip.step()
+        assert not chip.finished
+
+
+class TestMetrics:
+    def test_measurement_window_deltas(self):
+        chip = build_chip(profile("AES"), design=BASELINE)
+        r = chip.run(warmup=100, measure=200)
+        assert r.icnt_cycles == 200
+        # Boundary rounding of the 4-cycle issue interval can nudge a short
+        # window fractionally above the steady-state peak.
+        assert 0 < r.ipc <= paper_config().peak_scalar_ipc * 1.02
+        assert r.core_cycles > 0
+
+    def test_compute_bound_benchmark_hits_peak(self):
+        chip = build_chip(profile("AES"), design=BASELINE)
+        r = chip.run(warmup=300, measure=400)
+        assert r.ipc == pytest.approx(paper_config().peak_scalar_ipc,
+                                      rel=0.02)
+
+    def test_memory_bound_benchmark_below_peak(self):
+        chip = build_chip(profile("RD"), design=BASELINE)
+        r = chip.run(warmup=300, measure=400)
+        assert r.ipc < 0.6 * paper_config().peak_scalar_ipc
+        assert r.mc_stall_fraction > 0.3
+        assert r.accepted_bytes_per_cycle_per_node > 1.0
+
+    def test_determinism(self):
+        a = build_chip(profile("KM"), design=BASELINE, seed=5)
+        b = build_chip(profile("KM"), design=BASELINE, seed=5)
+        ra = a.run(warmup=100, measure=200)
+        rb = b.run(warmup=100, measure=200)
+        assert ra.ipc == rb.ipc
+        assert ra.retired_scalar == rb.retired_scalar
+
+    def test_seed_sensitivity_is_modest(self):
+        a = build_chip(profile("KM"), design=BASELINE, seed=5)
+        b = build_chip(profile("KM"), design=BASELINE, seed=9)
+        ra = a.run(warmup=200, measure=400)
+        rb = b.run(warmup=200, measure=400)
+        assert abs(ra.ipc - rb.ipc) / ra.ipc < 0.25
+
+    def test_result_label(self):
+        chip = build_chip(profile("AES"), design=BASELINE)
+        assert chip.run(10, 10).network == "TB-DOR"
+        assert chip.run(0, 10, label="custom").network == "custom"
+
+    def test_speedup_over(self):
+        chip = build_chip(profile("AES"), design=BASELINE)
+        r = chip.run(100, 100)
+        assert r.speedup_over(r) == pytest.approx(0.0)
+
+
+class TestIdealFactories:
+    def test_perfect_chip_upper_bounds_real(self):
+        real = build_chip(profile("SCP"), design=BASELINE).run(300, 500)
+        ideal = perfect_chip(profile("SCP")).run(300, 500)
+        assert ideal.ipc > real.ipc
+
+    def test_bandwidth_cap_monotone(self):
+        lo = bandwidth_capped_chip(profile("SCP"), 0.5).run(200, 400)
+        hi = bandwidth_capped_chip(profile("SCP"), 8.0).run(200, 400)
+        assert hi.ipc > lo.ipc

@@ -1,0 +1,111 @@
+"""Tests for round-robin arbitration and the iSLIP separable allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.arbiter import RoundRobinArbiter, SeparableAllocator
+
+
+class TestRoundRobinArbiter:
+    def test_empty_request_set(self):
+        assert RoundRobinArbiter(["a", "b"]).arbitrate([]) is None
+
+    def test_single_requester_wins(self):
+        arb = RoundRobinArbiter(["a", "b", "c"])
+        assert arb.arbitrate(["b"]) == "b"
+
+    def test_round_robin_rotation(self):
+        arb = RoundRobinArbiter(["a", "b", "c"])
+        winners = [arb.arbitrate(["a", "b", "c"]) for _ in range(6)]
+        assert winners == ["a", "b", "c", "a", "b", "c"]
+
+    def test_pointer_advances_past_winner(self):
+        arb = RoundRobinArbiter(["a", "b", "c"])
+        assert arb.arbitrate(["c"]) == "c"
+        # Pointer now past c, so "a" has priority.
+        assert arb.arbitrate(["a", "c"]) == "a"
+
+    def test_no_advance_mode(self):
+        arb = RoundRobinArbiter(["a", "b"])
+        assert arb.arbitrate(["a", "b"], advance=False) == "a"
+        assert arb.arbitrate(["a", "b"], advance=False) == "a"
+
+    def test_unknown_client_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(["a"]).arbitrate(["z"])
+
+    def test_long_run_fairness(self):
+        arb = RoundRobinArbiter(range(4))
+        counts = {i: 0 for i in range(4)}
+        for _ in range(400):
+            counts[arb.arbitrate(range(4))] += 1
+        assert all(c == 100 for c in counts.values())
+
+    @given(st.sets(st.integers(0, 7), min_size=1))
+    def test_winner_is_always_a_requester(self, requests):
+        arb = RoundRobinArbiter(range(8))
+        assert arb.arbitrate(requests) in requests
+
+
+class TestSeparableAllocator:
+    def _make(self, inputs=("i0", "i1", "i2"), vcs=2,
+              outputs=("o0", "o1")):
+        return SeparableAllocator(inputs, vcs, outputs)
+
+    def test_single_request_granted(self):
+        alloc = self._make()
+        grants = alloc.allocate({"i0": {0: "o0"}})
+        assert grants == [("i0", 0, "o0")]
+
+    def test_no_requests(self):
+        assert self._make().allocate({}) == []
+
+    def test_output_conflict_one_grant(self):
+        alloc = self._make()
+        grants = alloc.allocate({"i0": {0: "o0"}, "i1": {0: "o0"}})
+        assert len(grants) == 1
+
+    def test_distinct_outputs_both_granted(self):
+        alloc = self._make()
+        grants = alloc.allocate({"i0": {0: "o0"}, "i1": {0: "o1"}})
+        assert len(grants) == 2
+
+    def test_one_grant_per_input(self):
+        alloc = self._make()
+        grants = alloc.allocate({"i0": {0: "o0", 1: "o1"}})
+        assert len(grants) == 1
+
+    def test_conflict_resolves_round_robin_over_time(self):
+        alloc = self._make()
+        winners = []
+        for _ in range(4):
+            (w, _vc, _o), = alloc.allocate({"i0": {0: "o0"},
+                                            "i1": {0: "o0"}})
+            winners.append(w)
+        assert set(winners) == {"i0", "i1"}
+        assert winners.count("i0") == winners.count("i1")
+
+    @given(st.dictionaries(
+        st.sampled_from(["i0", "i1", "i2", "i3"]),
+        st.dictionaries(st.integers(0, 3),
+                        st.sampled_from(["o0", "o1", "o2"]),
+                        max_size=4),
+        max_size=4))
+    def test_allocation_is_a_matching(self, requests):
+        alloc = SeparableAllocator(["i0", "i1", "i2", "i3"], 4,
+                                   ["o0", "o1", "o2"])
+        grants = alloc.allocate(requests)
+        in_ports = [g[0] for g in grants]
+        out_ports = [g[2] for g in grants]
+        assert len(set(in_ports)) == len(in_ports)     # <=1 per input
+        assert len(set(out_ports)) == len(out_ports)   # <=1 per output
+        for in_port, vc, out in grants:                # grants were requested
+            assert requests[in_port][vc] == out
+
+    def test_work_conserving_single_output(self):
+        """If any VC requests an output, that output is granted."""
+        alloc = self._make()
+        for requests in ({"i0": {0: "o0"}}, {"i1": {1: "o0"}},
+                         {"i0": {0: "o0"}, "i2": {1: "o0"}}):
+            grants = alloc.allocate(requests)
+            assert any(g[2] == "o0" for g in grants)

@@ -1,0 +1,135 @@
+"""Tests for the area model against the paper's Table VI."""
+
+import dataclasses
+
+import pytest
+
+from repro.area.chip import (GTX280_AREA_MM2, compute_area_mm2,
+                             design_noc_area, throughput_effectiveness,
+                             throughput_effectiveness_gain)
+from repro.area.orion import (crossbar_units, link_area, mesh_link_count,
+                              router_area)
+from repro.core.builder import (BASELINE, CP_CR, DOUBLE_BW,
+                                DOUBLE_CP_CR_DEDICATED)
+
+
+def approx(value, expected, tol=0.05):
+    assert value == pytest.approx(expected, rel=tol), (value, expected)
+
+
+class TestRouterArea:
+    def test_baseline_full_router(self):
+        r = router_area(16, 2)
+        approx(r.crossbar, 1.73)
+        approx(r.buffers, 0.17)
+        approx(r.allocator, 0.004)
+        approx(r.total, 1.916, tol=0.02)
+
+    def test_double_width_quadratic_crossbar(self):
+        r16, r32 = router_area(16, 2), router_area(32, 2)
+        approx(r32.crossbar / r16.crossbar, 4.0, tol=0.01)
+        approx(r32.buffers / r16.buffers, 2.0, tol=0.01)
+
+    def test_half_router_crossbar_half(self):
+        full = router_area(16, 4)
+        half = router_area(16, 4, half=True)
+        approx(half.crossbar, 0.83)
+        approx(half.crossbar / full.crossbar, 0.48)
+
+    def test_half_router_total_table6(self):
+        half = router_area(16, 4, half=True)
+        approx(half.total, 1.18, tol=0.02)
+        full = router_area(16, 4)
+        approx(full.total, 2.10, tol=0.02)
+
+    def test_sliced_routers(self):
+        full8 = router_area(8, 2)
+        half8 = router_area(8, 2, half=True)
+        approx(full8.total, 0.522, tol=0.03)
+        approx(half8.total, 0.302, tol=0.05)
+
+    def test_two_port_mc_router(self):
+        r = router_area(8, 2, half=True, inject_ports=2)
+        approx(r.crossbar, 0.28, tol=0.05)
+        approx(r.buffers, 0.10, tol=0.05)
+        approx(r.total, 0.38, tol=0.05)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            router_area(0, 2)
+        with pytest.raises(ValueError):
+            link_area(-1)
+
+    def test_crossbar_units(self):
+        assert crossbar_units(False) == 25
+        assert crossbar_units(True) == 12
+        assert crossbar_units(True, inject_ports=2) == 16
+
+
+class TestLinks:
+    def test_link_area_table6(self):
+        approx(link_area(16), 0.175)
+        approx(link_area(32), 0.349, tol=0.02)
+        approx(link_area(8), 0.087, tol=0.02)
+
+    def test_mesh_link_count(self):
+        assert mesh_link_count(6, 6) == 120
+        assert mesh_link_count(2, 2) == 8
+
+
+class TestChipArea:
+    def test_compute_area_matches_paper(self):
+        approx(compute_area_mm2(), 486.0, tol=0.01)
+
+    def test_baseline_row(self):
+        a = design_noc_area(BASELINE)
+        approx(a.router_sum, 69.0, tol=0.02)
+        approx(a.link_sum, 21.015, tol=0.01)
+        approx(a.total_chip, 576.0, tol=0.01)
+        approx(a.overhead_fraction, 0.1563, tol=0.02)
+
+    def test_2x_bandwidth_row(self):
+        a = design_noc_area(DOUBLE_BW)
+        approx(a.router_sum, 263.0, tol=0.02)
+        approx(a.total_chip, 790.948, tol=0.01)
+        assert a.overhead_fraction > 0.5
+
+    def test_cp_cr_row(self):
+        a = design_noc_area(CP_CR)
+        approx(a.router_sum, 59.20, tol=0.02)
+        approx(a.total_chip, 566.2, tol=0.01)
+
+    def test_double_dedicated_row(self):
+        a = design_noc_area(DOUBLE_CP_CR_DEDICATED)
+        approx(a.router_sum, 29.74, tol=0.02)
+        approx(a.total_chip, 536.74, tol=0.01)
+
+    def test_double_dedicated_2p_row(self):
+        design = dataclasses.replace(DOUBLE_CP_CR_DEDICATED,
+                                     mc_inject_ports=2)
+        a = design_noc_area(design, multiport_both_slices=False)
+        approx(a.router_sum, 30.44, tol=0.03)
+        approx(a.total_chip, 537.44, tol=0.01)
+
+    def test_checkerboard_saves_router_area(self):
+        assert design_noc_area(CP_CR).router_sum < \
+            design_noc_area(BASELINE).router_sum
+
+    def test_balanced_double_costs_more_than_dedicated(self):
+        from repro.core.builder import DOUBLE_CP_CR
+        balanced = design_noc_area(DOUBLE_CP_CR)
+        dedicated = design_noc_area(DOUBLE_CP_CR_DEDICATED)
+        assert balanced.router_sum > dedicated.router_sum
+        assert balanced.router_sum < design_noc_area(CP_CR).router_sum
+
+
+class TestThroughputEffectiveness:
+    def test_metric(self):
+        assert throughput_effectiveness(230, 576) == pytest.approx(230 / 576)
+        with pytest.raises(ValueError):
+            throughput_effectiveness(1, 0)
+
+    def test_paper_headline_identity(self):
+        """+17 % IPC at 537.44 mm² vs 576 mm² gives +25.4 % IPC/mm²."""
+        gain = throughput_effectiveness_gain(1.17, 576.0, 537.44)
+        assert gain == pytest.approx(0.254, abs=0.005)

@@ -1,0 +1,82 @@
+"""Tests for mesh channels (flit delay, credit return)."""
+
+import pytest
+
+from repro.noc.channel import Channel
+from repro.noc.packet import read_request
+from repro.noc.topology import Coord, Direction
+
+
+class _Recorder:
+    def __init__(self):
+        self.flits = []
+        self.credits = []
+
+    def deliver_flit(self, port, vc, flit, cycle):
+        self.flits.append((port, vc, flit, cycle))
+
+    def deliver_credit(self, port, vc):
+        self.credits.append((port, vc))
+
+
+def make_channel(latency=1, credit_delay=1):
+    ch = Channel(latency, credit_delay)
+    src, dst = _Recorder(), _Recorder()
+    ch.connect(src, Direction.EAST, dst, Direction.WEST)
+    return ch, src, dst
+
+
+def flit():
+    return read_request(Coord(0, 0), Coord(1, 0)).make_flits(16)[0]
+
+
+class TestChannel:
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ValueError):
+            Channel(0)
+
+    def test_flit_arrives_after_latency(self):
+        ch, _src, dst = make_channel(latency=2)
+        f = flit()
+        ch.send_flit(f, 0, cycle=10)
+        ch.deliver(11)
+        assert dst.flits == []
+        ch.deliver(12)
+        assert dst.flits == [(Direction.WEST, 0, f, 12)]
+
+    def test_credit_returns_upstream(self):
+        ch, src, _dst = make_channel(credit_delay=2)
+        ch.send_credit(1, cycle=5)
+        ch.deliver(6)
+        assert src.credits == []
+        ch.deliver(7)
+        assert src.credits == [(Direction.EAST, 1)]
+
+    def test_in_order_delivery(self):
+        ch, _src, dst = make_channel()
+        f1, f2 = flit(), flit()
+        ch.send_flit(f1, 0, cycle=0)
+        ch.send_flit(f2, 0, cycle=1)
+        ch.deliver(5)
+        assert [x[2] for x in dst.flits] == [f1, f2]
+
+    def test_busy_flag(self):
+        ch, _src, _dst = make_channel()
+        assert not ch.busy
+        ch.send_flit(flit(), 0, cycle=0)
+        assert ch.busy
+        ch.deliver(10)
+        assert not ch.busy
+
+    def test_flit_count_stat(self):
+        ch, _src, _dst = make_channel()
+        for _ in range(3):
+            ch.send_flit(flit(), 0, cycle=0)
+        assert ch.flits_carried == 3
+
+    def test_late_deliver_flushes_everything_due(self):
+        ch, _src, dst = make_channel(latency=1)
+        ch.send_flit(flit(), 0, cycle=0)
+        ch.send_flit(flit(), 1, cycle=3)
+        ch.deliver(100)
+        assert len(dst.flits) == 2

@@ -1,0 +1,48 @@
+"""Checkerboard routing on non-6x6 meshes (the 8x8 scaling configuration
+and rectangular meshes): the routability and minimality guarantees are
+parity arguments, so they must hold for any size."""
+
+import random
+
+import pytest
+
+from repro.core.checkerboard_routing import (CheckerboardRouting, RouteCase,
+                                             classify, trace_route)
+from repro.core.placement import (checkerboard_placement,
+                                  validate_checkerboard_placement)
+from repro.noc.routing import minimal_hops
+from repro.noc.topology import Mesh
+
+
+@pytest.mark.parametrize("cols,rows", [(8, 8), (4, 6), (7, 5)])
+class TestGenericMesh:
+    def test_all_routable_pairs_minimal_without_illegal_turns(self, cols,
+                                                              rows):
+        mesh = Mesh(cols, rows)
+        routing = CheckerboardRouting(mesh)
+        rng = random.Random(1)
+        for src in mesh.coords():
+            for dest in mesh.coords():
+                if classify(src, dest) is RouteCase.UNROUTABLE:
+                    continue
+                trace = trace_route(mesh, routing, src, dest, rng)
+                assert trace.path[-1] == dest
+                assert trace.hops == minimal_hops(src, dest)
+                for a, b, c in zip(trace.path, trace.path[1:],
+                                   trace.path[2:]):
+                    if (a.x != b.x) != (b.x != c.x):   # dimension change
+                        assert b.parity() == 0, (src, dest, trace.path)
+
+    def test_placement_valid(self, cols, rows):
+        mesh = Mesh(cols, rows)
+        mcs = checkerboard_placement(mesh, min(8, mesh.num_nodes // 4))
+        validate_checkerboard_placement(mesh, mcs)
+
+    def test_mc_pairs_routable(self, cols, rows):
+        mesh = Mesh(cols, rows)
+        mcs = checkerboard_placement(mesh, min(8, mesh.num_nodes // 4))
+        cores = [c for c in mesh.coords() if c not in set(mcs)]
+        for mc in mcs:
+            for core in cores:
+                assert classify(core, mc) is not RouteCase.UNROUTABLE
+                assert classify(mc, core) is not RouteCase.UNROUTABLE

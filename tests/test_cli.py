@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = make_parser().parse_args(["run", "--benchmark", "RD"])
+        assert args.design == "TB-DOR"
+        assert args.warmup == 500
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "TB-DOR" in out
+        assert "Throughput-Effective" in out
+        assert "MUM" in out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "TB-DOR" in out and "576.00" in out
+
+    def test_area_single_design(self, capsys):
+        assert main(["area", "--design", "CP-CR-4VC"]) == 0
+        assert "566" in capsys.readouterr().out
+
+    def test_run(self, capsys):
+        assert main(["run", "--benchmark", "AES", "--warmup", "50",
+                     "--measure", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "AES" in out
+
+    def test_run_perfect(self, capsys):
+        assert main(["run", "--benchmark", "AES", "--design", "perfect",
+                     "--warmup", "50", "--measure", "100"]) == 0
+        assert "PerfectNetwork" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--benchmark", "AES",
+                     "--designs", "TB-DOR,CP-DOR",
+                     "--warmup", "50", "--measure", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "CP-DOR" in out and "speedup" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--design", "TB-DOR", "--rates", "0.01",
+                     "--warmup", "100", "--measure", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "saturated" in out
+
+    def test_sweep_hotspot(self, capsys):
+        assert main(["sweep", "--design", "CP-CR-4VC", "--rates", "0.01",
+                     "--hotspot", "--warmup", "100",
+                     "--measure", "200"]) == 0
+        assert "hotspot" in capsys.readouterr().out
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "--benchmark", "NOPE", "--warmup", "10",
+                  "--measure", "10"])
+
+    def test_unknown_design_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "--benchmark", "RD", "--design", "NOPE",
+                  "--warmup", "10", "--measure", "10"])

@@ -1,0 +1,68 @@
+"""Tests for memory-access coalescing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu.coalescer import (coalesce, coalesced_stride_lines,
+                                 degree_of_coalescing)
+
+
+class TestCoalesce:
+    def test_unit_stride_words_two_lines(self):
+        """32 threads x 4 B unit stride = 128 B = two 64 B lines."""
+        addrs = [i * 4 for i in range(32)]
+        assert coalesce(addrs) == [0, 64]
+
+    def test_single_line_fully_coalesced(self):
+        addrs = [i for i in range(32)]          # within one line
+        assert coalesce(addrs) == [0]
+
+    def test_fully_divergent(self):
+        addrs = [i * 4096 for i in range(32)]
+        assert len(coalesce(addrs)) == 32
+
+    def test_order_is_first_touch(self):
+        assert coalesce([200, 10, 70]) == [192, 0, 64]
+
+    def test_duplicates_merged(self):
+        assert coalesce([0, 1, 2, 0, 63]) == [0]
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(ValueError):
+            coalesce([0], line_bytes=0)
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=64))
+    def test_lines_are_aligned_and_unique(self, addrs):
+        lines = coalesce(addrs)
+        assert len(set(lines)) == len(lines)
+        assert all(line % 64 == 0 for line in lines)
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=64))
+    def test_every_address_covered(self, addrs):
+        lines = set(coalesce(addrs))
+        for a in addrs:
+            assert a - a % 64 in lines
+
+
+class TestStrideHelper:
+    def test_float_stride(self):
+        assert coalesced_stride_lines(0, 4) == [0, 64]
+
+    def test_large_stride_diverges(self):
+        assert len(coalesced_stride_lines(0, 64)) == 32
+
+    def test_base_offset_spills_into_third_line(self):
+        # 32 + 31*4 = 156, so the warp touches lines 0, 64 and 128.
+        assert coalesced_stride_lines(32, 4) == [0, 64, 128]
+
+
+class TestDegree:
+    def test_perfect(self):
+        assert degree_of_coalescing([0] * 32) == 32.0
+
+    def test_worst(self):
+        assert degree_of_coalescing([i * 64 for i in range(32)]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            degree_of_coalescing([])

@@ -1,0 +1,41 @@
+"""Tests for the chip configuration (Tables II/III as dataclasses)."""
+
+import pytest
+
+from repro.system.config import ChipConfig, paper_config, scaled_config
+
+
+class TestPaperConfig:
+    def test_table2_values(self):
+        cfg = paper_config()
+        assert cfg.num_compute_cores == 28
+        assert cfg.num_memory_channels == 8
+        assert cfg.core.warp_size == 32
+        assert cfg.core.simd_width == 8
+        assert cfg.core.max_warps == 32
+        assert cfg.core.mshr_entries == 64
+        assert cfg.core.l1_size_bytes == 16 * 1024
+        assert cfg.mc.l2_size_bytes == 128 * 1024
+        assert cfg.mc.dram.queue_capacity == 32
+        assert cfg.clocks.core_mhz == 1296.0
+
+    def test_peak_ipc(self):
+        assert paper_config().peak_scalar_ipc == 224
+
+    def test_peak_dram_bandwidth(self):
+        cfg = paper_config()
+        # 8 MCs x 16 B/mclk x (1107/602)
+        assert cfg.peak_dram_bytes_per_icnt_cycle() == \
+            pytest.approx(8 * 16 * 1107 / 602)
+
+    def test_node_count_must_match_mesh(self):
+        with pytest.raises(ValueError):
+            ChipConfig(num_compute_cores=20, num_memory_channels=8)
+
+    def test_scaled_config(self):
+        cfg = scaled_config(56, 8, 8, 8)
+        assert cfg.num_compute_cores == 56
+        assert cfg.mesh_cols == 8
+        assert cfg.peak_scalar_ipc == 448
+        with pytest.raises(ValueError):
+            scaled_config(10, 8, 8, 8)

@@ -1,0 +1,83 @@
+"""Tests for the programmatic experiment harness."""
+
+import pytest
+
+from repro.core.builder import BASELINE, CP_DOR, DOUBLE_BW
+from repro.experiments import (classify_benchmarks, compare_designs,
+                               load_latency_curves)
+from repro.noc.traffic import HotspotManyToFew, UniformManyToFew
+from repro.workloads.profiles import profile
+
+SUBSET = [profile(a) for a in ("RD", "AES")]
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_designs([BASELINE, CP_DOR, DOUBLE_BW],
+                           profiles=SUBSET, warmup=200, measure=400)
+
+
+class TestCompareDesigns:
+    def test_all_designs_and_benchmarks_present(self, comparison):
+        assert set(comparison.results) == {"TB-DOR", "CP-DOR", "2x-TB-DOR"}
+        for per_bench in comparison.results.values():
+            assert set(per_bench) == {"RD", "AES"}
+
+    def test_baseline_is_first_design(self, comparison):
+        assert comparison.baseline == "TB-DOR"
+        assert comparison.hm_speedup("TB-DOR") == pytest.approx(0.0)
+
+    def test_speedups_directionally_correct(self, comparison):
+        assert comparison.speedups("2x-TB-DOR")["RD"] > 0.2
+        assert abs(comparison.speedups("2x-TB-DOR")["AES"]) < 0.05
+
+    def test_summary_excludes_baseline(self, comparison):
+        summary = comparison.summary()
+        assert "TB-DOR" not in summary
+        assert set(summary) == {"CP-DOR", "2x-TB-DOR"}
+
+    def test_explicit_baseline_inserted(self):
+        comp = compare_designs([CP_DOR], profiles=SUBSET, baseline=BASELINE,
+                               warmup=100, measure=200)
+        assert comp.baseline == "TB-DOR"
+        assert "TB-DOR" in comp.results
+
+
+class TestClassify:
+    def test_subset_classification(self):
+        # AES sits just under the 1 B/cycle traffic boundary, so use the
+        # standard measurement window to avoid short-window inflation.
+        result = classify_benchmarks(BASELINE, profiles=SUBSET,
+                                     warmup=400, measure=800)
+        by_abbr = {b.abbr: b for b in result.benchmarks}
+        assert by_abbr["RD"].measured_group == "HH"
+        assert by_abbr["AES"].measured_group == "LL"
+        assert result.agreement == 1.0
+        assert result.hm_perfect_speedup("HH") > 0.3
+        with pytest.raises(ValueError):
+            result.hm_perfect_speedup("LH")
+
+
+class TestLoadLatency:
+    def test_curves_shape(self):
+        curves = load_latency_curves([BASELINE], rates=[0.005, 0.15],
+                                     pattern_factory=UniformManyToFew,
+                                     warmup=300, measure=600)
+        (curve,) = curves
+        assert curve.design == "TB-DOR"
+        assert len(curve.points) == 2
+        assert curve.points[0].mean_latency < 100
+        assert curve.saturation_rate() == 0.15
+
+    def test_unsaturated_curve_reports_inf(self):
+        curves = load_latency_curves([BASELINE], rates=[0.002],
+                                     pattern_factory=UniformManyToFew,
+                                     warmup=200, measure=400)
+        assert curves[0].saturation_rate() == float("inf")
+
+    def test_hotspot_pattern_factory(self):
+        curves = load_latency_curves(
+            [BASELINE], rates=[0.005],
+            pattern_factory=lambda mcs: HotspotManyToFew(mcs, 0.2),
+            pattern_name="hotspot", warmup=200, measure=400)
+        assert curves[0].pattern == "hotspot"

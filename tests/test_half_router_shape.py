@@ -1,0 +1,53 @@
+"""Tests for the half-router structural description used in area modeling."""
+
+from repro.core.half_router import crossbar_shape
+from repro.noc.router import full_connectivity, half_connectivity
+from repro.noc.topology import Direction, ejection_port, injection_port
+
+
+class TestCrossbarShape:
+    def test_half_router_paper_mux_count(self):
+        """Figure 13: four 2x1 muxes plus one ejection mux."""
+        shape = crossbar_shape(half=True)
+        # 4 mesh outputs x (straight-in + injection) + 5-input ejection mux
+        assert shape.mux_inputs == 4 * 2 + 5
+        assert shape.name == "half"
+
+    def test_full_router_larger(self):
+        assert crossbar_shape(False).mux_inputs > \
+            crossbar_shape(True).mux_inputs
+
+    def test_extra_ports_grow_the_switch(self):
+        base = crossbar_shape(True).mux_inputs
+        two_inj = crossbar_shape(True, num_inject_ports=2).mux_inputs
+        two_ej = crossbar_shape(True, num_eject_ports=2).mux_inputs
+        assert two_inj > base
+        assert two_ej > base
+        assert "2inj" in crossbar_shape(True, num_inject_ports=2).name
+
+    def test_counts_derive_from_connectivity(self):
+        """The shape must agree with the live connectivity function."""
+        shape = crossbar_shape(half=True)
+        in_ports = [Direction.NORTH, Direction.SOUTH, Direction.EAST,
+                    Direction.WEST, injection_port(0)]
+        out_ports = [Direction.NORTH, Direction.SOUTH, Direction.EAST,
+                     Direction.WEST, ejection_port(0)]
+        manual = 0
+        for out in out_ports:
+            fan_in = sum(half_connectivity(i, out) for i in in_ports)
+            if fan_in > 1:
+                manual += fan_in
+        assert shape.mux_inputs == manual
+
+
+class TestConnectivityConsistency:
+    def test_half_is_strict_subset_of_full(self):
+        in_ports = [Direction.NORTH, Direction.SOUTH, Direction.EAST,
+                    Direction.WEST, injection_port(0)]
+        out_ports = [Direction.NORTH, Direction.SOUTH, Direction.EAST,
+                     Direction.WEST, ejection_port(0)]
+        half_pairs = {(i, o) for i in in_ports for o in out_ports
+                      if half_connectivity(i, o)}
+        full_pairs = {(i, o) for i in in_ports for o in out_ports
+                      if full_connectivity(i, o)}
+        assert half_pairs < full_pairs

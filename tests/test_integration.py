@@ -1,0 +1,88 @@
+"""End-to-end integration tests reproducing the paper's directional claims
+on short simulation windows (full-length runs live in benchmarks/)."""
+
+import pytest
+
+from repro.core.builder import (BASELINE, CP_CR, CP_DOR, DOUBLE_BW,
+                                DOUBLE_CP_CR, THROUGHPUT_EFFECTIVE,
+                                open_loop_variant, build)
+from repro.noc.openloop import OpenLoopRunner
+from repro.noc.traffic import UniformManyToFew
+from repro.system.accelerator import build_chip, perfect_chip
+from repro.workloads.profiles import profile
+
+WARMUP, MEASURE = 300, 600
+
+
+def ipc(design, abbr, seed=11):
+    return build_chip(profile(abbr), design=design,
+                      seed=seed).run(WARMUP, MEASURE).ipc
+
+
+class TestClosedLoopDirections:
+    def test_perfect_network_speeds_up_hh(self):
+        """Figure 7: HH benchmarks gain a lot from a perfect NoC."""
+        base = ipc(BASELINE, "SCP")
+        perfect = perfect_chip(profile("SCP")).run(WARMUP, MEASURE).ipc
+        assert perfect / base > 1.3
+
+    def test_perfect_network_irrelevant_for_ll(self):
+        base = ipc(BASELINE, "AES")
+        perfect = perfect_chip(profile("AES")).run(WARMUP, MEASURE).ipc
+        assert abs(perfect / base - 1) < 0.05
+
+    def test_2x_bandwidth_helps_hh(self):
+        """Figure 9: doubling channel width gives large HH speedups."""
+        assert ipc(DOUBLE_BW, "RD") / ipc(BASELINE, "RD") > 1.25
+
+    def test_checkerboard_placement_helps_hh(self):
+        """Figure 16 direction: staggered MCs beat top-bottom."""
+        assert ipc(CP_DOR, "RD") / ipc(BASELINE, "RD") > 1.1
+
+    def test_checkerboard_routing_cheap(self):
+        """Figure 17: CR with half-routers ~matches DOR with full routers."""
+        ratio = ipc(CP_CR, "KM") / ipc(CP_DOR, "KM")
+        assert ratio > 0.9
+
+    def test_double_network_roughly_neutral(self):
+        """Figure 18: the (balanced) double network ~matches the single."""
+        ratio = ipc(DOUBLE_CP_CR, "RD") / ipc(CP_CR, "RD")
+        assert 0.85 < ratio < 1.2
+
+    def test_combined_design_beats_baseline_on_hh(self):
+        """Figure 20 direction."""
+        assert ipc(THROUGHPUT_EFFECTIVE, "SCP") / ipc(BASELINE, "SCP") > 1.3
+
+    def test_combined_design_harmless_on_ll(self):
+        ratio = ipc(THROUGHPUT_EFFECTIVE, "AES") / ipc(BASELINE, "AES")
+        assert ratio > 0.95
+
+    def test_mc_stall_high_for_hh_low_for_ll(self):
+        """Figure 11 direction."""
+        hh = build_chip(profile("RD"), design=BASELINE).run(WARMUP, MEASURE)
+        ll = build_chip(profile("BIN"), design=BASELINE).run(WARMUP, MEASURE)
+        assert hh.mc_stall_fraction > 0.3
+        assert ll.mc_stall_fraction < 0.05
+
+
+class TestOpenLoopDirections:
+    def _latency(self, design, rate):
+        system = build(open_loop_variant(design))
+        runner = OpenLoopRunner(system, system.compute_nodes,
+                                system.mc_nodes,
+                                UniformManyToFew(system.mc_nodes), rate)
+        return runner.run(warmup=400, measure=800)
+
+    def test_throughput_effective_saturates_later(self):
+        """Figure 21 direction: at a load where the baseline is saturated,
+        the combined design still delivers low latency."""
+        rate = 0.045
+        base = self._latency(BASELINE, rate)
+        te = self._latency(THROUGHPUT_EFFECTIVE, rate)
+        assert te.mean_latency < base.mean_latency
+
+    def test_low_load_latencies_comparable(self):
+        rate = 0.005
+        base = self._latency(BASELINE, rate)
+        te = self._latency(THROUGHPUT_EFFECTIVE, rate)
+        assert te.mean_latency < base.mean_latency * 1.5

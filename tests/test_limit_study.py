@@ -1,0 +1,49 @@
+"""Tests for the Figure 6 limit study helpers."""
+
+import pytest
+
+from repro.system.config import paper_config
+from repro.system.limit_study import (BALANCED_FRACTION,
+                                      cap_flits_per_cycle,
+                                      equivalent_channel_bytes,
+                                      mesh_area_for_fraction,
+                                      run_limit_study)
+from repro.workloads.profiles import profile
+
+
+class TestScaling:
+    def test_balanced_fraction_gives_16_byte_channels(self):
+        assert equivalent_channel_bytes(BALANCED_FRACTION) == \
+            pytest.approx(16.0)
+
+    def test_cap_is_linear_in_fraction(self):
+        c1 = cap_flits_per_cycle(0.5)
+        c2 = cap_flits_per_cycle(1.0)
+        assert c2 == pytest.approx(2 * c1)
+
+    def test_cap_magnitude(self):
+        """Peak DRAM = 8 MCs x 16 B/mclk at 1107/602 clock ratio
+        = ~14.7 16-byte flits per interconnect cycle."""
+        cfg = paper_config()
+        expected = 8 * 16 * (1107 / 602) / 16
+        assert cap_flits_per_cycle(1.0, cfg) == pytest.approx(expected)
+
+    def test_area_grows_superlinearly(self):
+        a1, a2 = mesh_area_for_fraction(0.5), mesh_area_for_fraction(1.0)
+        compute = 486.5
+        assert (a2 - compute) > 2.5 * (a1 - compute)
+
+
+class TestRunLimitStudy:
+    def test_small_sweep_shape(self):
+        """Throughput rises with the cap and saturates near 1.0 of DRAM
+        bandwidth (the Figure 6 shape), on a fast benchmark subset."""
+        subset = [profile(a) for a in ("RD", "CON", "AES")]
+        points = run_limit_study([0.2, 0.8], profiles=subset,
+                                 warmup=150, measure=300)
+        assert len(points) == 2
+        low, high = points
+        assert low.hm_ipc < high.hm_ipc
+        assert high.normalized_throughput > 0.8
+        assert low.normalized_throughput < 0.7
+        assert low.chip_area < high.chip_area

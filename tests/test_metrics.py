@@ -1,0 +1,55 @@
+"""Tests for aggregate metrics."""
+
+import pytest
+
+from repro.system.metrics import (classify, geometric_mean, harmonic_mean,
+                                  hm_speedup, per_benchmark_speedups)
+
+
+class TestMeans:
+    def test_harmonic_mean_basic(self):
+        assert harmonic_mean([1, 1, 1]) == pytest.approx(1.0)
+        assert harmonic_mean([2, 2]) == pytest.approx(2.0)
+        assert harmonic_mean([1, 3]) == pytest.approx(1.5)
+
+    def test_harmonic_below_arithmetic(self):
+        vals = [10.0, 50.0, 200.0]
+        assert harmonic_mean(vals) < sum(vals) / 3
+
+    def test_harmonic_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
+
+class TestSpeedups:
+    def test_hm_speedup(self):
+        base = {"a": 10.0, "b": 20.0}
+        new = {"a": 20.0, "b": 40.0}
+        assert hm_speedup(new, base) == pytest.approx(1.0)
+
+    def test_mismatched_sets_rejected(self):
+        with pytest.raises(ValueError):
+            hm_speedup({"a": 1.0}, {"b": 1.0})
+
+    def test_per_benchmark(self):
+        out = per_benchmark_speedups({"a": 15.0}, {"a": 10.0})
+        assert out["a"] == pytest.approx(0.5)
+
+
+class TestClassification:
+    def test_paper_thresholds(self):
+        assert classify(0.5, 2.0) == "HH"
+        assert classify(0.1, 2.0) == "LH"
+        assert classify(0.1, 0.5) == "LL"
+        assert classify(0.5, 0.5) == "HL"
+
+    def test_threshold_boundaries(self):
+        assert classify(0.30, 1.0) == "LL"       # strict inequality
+        assert classify(0.31, 1.01) == "HH"

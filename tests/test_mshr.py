@@ -1,0 +1,102 @@
+"""Tests for the MSHR file."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.mshr import MshrFile
+
+
+class TestAllocation:
+    def test_allocate_new_entry(self):
+        m = MshrFile(4)
+        entry = m.allocate(0x100, "w0")
+        assert not entry.issued
+        assert entry.waiters == ["w0"]
+        assert len(m) == 1
+
+    def test_merge_same_line(self):
+        m = MshrFile(4)
+        first = m.allocate(0x100, "w0")
+        first.issued = True
+        second = m.allocate(0x100, "w1")
+        assert second is first
+        assert second.waiters == ["w0", "w1"]
+        assert len(m) == 1
+        assert m.merges == 1
+
+    def test_capacity_enforced(self):
+        m = MshrFile(2)
+        m.allocate(0x000, "a")
+        m.allocate(0x040, "b")
+        assert m.full
+        assert not m.can_accept(0x080)
+        with pytest.raises(RuntimeError):
+            m.allocate(0x080, "c")
+
+    def test_merge_allowed_when_full(self):
+        m = MshrFile(2)
+        m.allocate(0x000, "a")
+        m.allocate(0x040, "b")
+        assert m.can_accept(0x000)     # merging needs no new entry
+        m.allocate(0x000, "c")
+        assert len(m) == 2
+
+    def test_merge_limit(self):
+        m = MshrFile(4, max_merged=2)
+        m.allocate(0x100, "a")
+        m.allocate(0x100, "b")
+        assert not m.can_accept(0x100)
+        with pytest.raises(RuntimeError):
+            m.allocate(0x100, "c")
+
+
+class TestCompletion:
+    def test_complete_returns_waiters(self):
+        m = MshrFile(4)
+        m.allocate(0x100, "w0")
+        m.allocate(0x100, "w1")
+        assert m.complete(0x100) == ["w0", "w1"]
+        assert len(m) == 0
+
+    def test_complete_unknown_line(self):
+        with pytest.raises(KeyError):
+            MshrFile(4).complete(0x123)
+
+    def test_entry_reusable_after_complete(self):
+        m = MshrFile(1)
+        m.allocate(0x100, "a")
+        m.complete(0x100)
+        assert m.can_accept(0x200)
+        m.allocate(0x200, "b")
+
+    def test_outstanding_lines(self):
+        m = MshrFile(4)
+        m.allocate(0x100, "a")
+        m.allocate(0x200, "b")
+        assert sorted(m.outstanding_lines()) == [0x100, 0x200]
+
+
+class TestInvariants:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+    @given(st.lists(st.integers(0, 15), max_size=100))
+    def test_never_exceeds_capacity(self, lines):
+        m = MshrFile(4, max_merged=64)
+        for line_no in lines:
+            line = line_no * 64
+            if m.can_accept(line):
+                m.allocate(line, "w")
+            assert len(m) <= 4
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=60))
+    def test_waiters_conserved(self, lines):
+        m = MshrFile(8, max_merged=100)
+        expected = {}
+        for i, line_no in enumerate(lines):
+            line = line_no * 64
+            m.allocate(line, i)
+            expected.setdefault(line, []).append(i)
+        got = {line: m.complete(line) for line in list(m.outstanding_lines())}
+        assert got == expected

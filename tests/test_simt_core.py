@@ -1,0 +1,222 @@
+"""Tests for the SIMT core: issue, memory path, MSHR pressure, fills."""
+
+import pytest
+
+from repro.gpu.core import CoreConfig, MemoryToken, SimtCore
+from repro.gpu.instruction import ALU, SHARED, load, store
+from repro.noc.packet import TrafficClass, read_reply
+from repro.noc.topology import Coord
+
+CORE = Coord(2, 2)
+MC = Coord(1, 0)
+
+
+class ScriptedProgram:
+    """Feeds a fixed per-warp instruction list, then finishes."""
+
+    def __init__(self, script):
+        self.script = script
+        self.cursor = {}
+
+    def next_instruction(self, core, warp_id):
+        i = self.cursor.get(warp_id, 0)
+        if i >= len(self.script):
+            return None
+        self.cursor[warp_id] = i + 1
+        item = self.script[i]
+        return item(warp_id) if callable(item) else item
+
+
+def route(line_addr):
+    return MC, line_addr
+
+
+def make_core(script, num_warps=1, **config_kwargs):
+    config = CoreConfig(**config_kwargs)
+    return SimtCore(CORE, config, ScriptedProgram(script), route,
+                    num_warps=num_warps)
+
+
+def reply_for(core, packet):
+    """Build the read reply a MC would send for a request packet."""
+    return read_reply(MC, CORE, payload=packet.payload)
+
+
+class TestIssue:
+    def test_alu_retires_32_threads(self):
+        core = make_core([ALU])
+        core.step(1)
+        assert core.retired_scalar == 32
+        assert core.issued_instructions == 1
+
+    def test_issue_interval_four_cycles(self):
+        core = make_core([ALU] * 10, num_warps=8, alu_latency=1)
+        for cycle in range(1, 9):
+            core.step(cycle)
+        # One warp instruction per 4 cycles (8-wide SIMD, 32 threads).
+        assert core.issued_instructions == 2
+
+    def test_alu_latency_blocks_warp(self):
+        core = make_core([ALU, ALU], num_warps=1, alu_latency=16)
+        core.step(1)
+        for cycle in range(2, 16):
+            core.step(cycle)
+        assert core.issued_instructions == 1
+        core.step(17)
+        assert core.issued_instructions == 2
+
+    def test_shared_instruction_no_traffic(self):
+        core = make_core([SHARED])
+        core.step(1)
+        assert core.retired_scalar == 32
+        assert not core.outbound
+
+    def test_finished_program(self):
+        core = make_core([ALU], num_warps=1)
+        core.step(1)
+        for cycle in range(2, 40):
+            core.step(cycle)
+        assert core.finished
+
+
+class TestLoads:
+    def test_load_miss_sends_request_and_blocks(self):
+        core = make_core([load([0x1000]), ALU])
+        core.step(1)
+        assert len(core.outbound) == 1
+        packet = core.outbound[0]
+        assert packet.dest == MC
+        assert packet.size_bytes == 8
+        assert isinstance(packet.payload, MemoryToken)
+        # Warp blocked: no further issue.
+        for cycle in range(2, 30):
+            core.step(cycle)
+        assert core.issued_instructions == 1
+
+    def test_reply_unblocks_warp(self):
+        core = make_core([load([0x1000]), ALU])
+        core.step(1)
+        packet = core.outbound.popleft()
+        core.on_reply(reply_for(core, packet), 10)
+        core.step(11)
+        assert core.issued_instructions == 2
+
+    def test_fill_makes_later_access_hit(self):
+        core = make_core([load([0x1000]), load([0x1000])],
+                         l1_hit_latency=2)
+        core.step(1)
+        packet = core.outbound.popleft()
+        core.on_reply(reply_for(core, packet), 5)
+        core.step(6)            # issue second load: L1 hit
+        assert not core.outbound
+        assert core.l1.hits >= 1
+
+    def test_divergent_load_counts_lines(self):
+        lines = [0x1000 + i * 64 for i in range(8)]
+        core = make_core([load(lines)])
+        core.step(1)
+        assert len(core.outbound) == 8
+
+    def test_duplicate_lines_deduped(self):
+        core = make_core([load([0x1000, 0x1000, 0x1040])])
+        core.step(1)
+        assert len(core.outbound) == 2
+
+    def test_mshr_merge_no_duplicate_request(self):
+        core = make_core([load([0x1000]), load([0x1000])], num_warps=2,
+                         l1_hit_latency=1)
+        core.step(1)        # warp 0 misses
+        core.step(5)        # warp 1 same line: merge
+        assert len(core.outbound) == 1
+        assert core.mshrs.merges == 1
+
+
+class TestStores:
+    def test_store_miss_requests_line_but_does_not_block(self):
+        core = make_core([store([0x2000]), ALU], store_latency=1)
+        core.step(1)
+        assert len(core.outbound) == 1
+        core.step(5)
+        assert core.issued_instructions == 2   # warp kept running
+
+    def test_store_fill_marks_dirty_and_evicts_later(self):
+        core = make_core([store([0x2000])], l1_size_bytes=128,
+                         l1_associativity=2)
+        core.step(1)
+        packet = core.outbound.popleft()
+        core.on_reply(reply_for(core, packet), 5)
+        assert core.l1.contains(0x2000)
+        # Fill conflicting lines to force a dirty eviction.
+        sets = core.l1.config.num_sets
+        span = sets * 64
+        for i, line in enumerate([0x2000 + span, 0x2000 + 2 * span]):
+            token = MemoryToken(CORE, line, line)
+            core.mshrs.allocate(line, (None, False))
+            core.on_reply(read_reply(MC, CORE, payload=token), 10 + i)
+        writes = [p for p in core.outbound if p.size_bytes == 64]
+        assert len(writes) == 1      # the dirty 0x2000 line written back
+
+
+class TestStructuralStalls:
+    def test_mshr_full_stalls_warp(self):
+        # Each warp loads its own line, so no merging can hide the limit.
+        core = make_core([lambda w: load([0x1000 + w * 64])],
+                         num_warps=4, mshr_entries=2)
+        for cycle in range(1, 30):
+            core.step(cycle)
+        assert len(core.outbound) == 2         # only 2 MSHRs available
+        assert core.structural_stalls > 0
+
+    def test_stalled_instruction_retries_after_fill(self):
+        core = make_core([lambda w: load([0x1000 + w * 64])],
+                         num_warps=2, mshr_entries=1)
+        for cycle in range(1, 10):
+            core.step(cycle)
+        assert len(core.outbound) == 1
+        packet = core.outbound.popleft()
+        core.on_reply(reply_for(core, packet), 20)
+        for cycle in range(21, 40):
+            core.step(cycle)
+        assert len(core.outbound) == 1          # the stalled one went out
+
+
+class TestValidation:
+    def test_bad_warp_count(self):
+        with pytest.raises(ValueError):
+            make_core([ALU], num_warps=0)
+        with pytest.raises(ValueError):
+            make_core([ALU], num_warps=64)
+
+    def test_reply_requires_token(self):
+        core = make_core([ALU])
+        with pytest.raises(TypeError):
+            core.on_reply(read_reply(MC, CORE, payload="x"), 0)
+
+    def test_ipc(self):
+        core = make_core([ALU])
+        core.step(1)
+        assert core.ipc(32) == 1.0
+        assert core.ipc(0) == 0.0
+
+
+class TestL1Flush:
+    def test_flush_emits_writebacks(self):
+        core = make_core([store([0x2000]), store([0x2040])],
+                         store_latency=1)
+        for cycle in range(1, 12):
+            core.step(cycle)
+        for _ in range(2):
+            packet = core.outbound.popleft()
+            core.on_reply(reply_for(core, packet), 20)
+        flushed = core.flush_l1(cycle=30)
+        assert flushed == 2
+        writes = [p for p in core.outbound if p.size_bytes == 64]
+        assert len(writes) == 2
+
+    def test_flush_idempotent(self):
+        core = make_core([store([0x2000])])
+        core.step(1)
+        packet = core.outbound.popleft()
+        core.on_reply(reply_for(core, packet), 5)
+        assert core.flush_l1(10) == 1
+        assert core.flush_l1(11) == 0

@@ -1,0 +1,64 @@
+"""Tests for system-level statistics: warp fairness, hot-spot high-water
+marks, SimulationResult plumbing."""
+
+import pytest
+
+from repro.core.builder import BASELINE
+from repro.system.accelerator import build_chip
+from repro.workloads.profiles import profile
+
+
+@pytest.fixture(scope="module")
+def hh_chip():
+    chip = build_chip(profile("KM"), design=BASELINE)
+    chip.result = chip.run(warmup=300, measure=600)
+    return chip
+
+
+class TestWarpFairness:
+    def test_fairness_in_unit_range(self, hh_chip):
+        for core in hh_chip.cores:
+            assert 0.0 <= core.warp_fairness() <= 1.0
+
+    def test_compute_bound_benchmark_is_fair(self):
+        chip = build_chip(profile("AES"), design=BASELINE)
+        chip.run(warmup=200, measure=400)
+        # Short windows quantize per-warp counts (~10 instr/warp), so allow
+        # a couple of instructions of skew.
+        assert min(c.warp_fairness() for c in chip.cores) > 0.5
+
+    def test_fresh_core_fairness_is_one(self):
+        chip = build_chip(profile("AES"), design=BASELINE)
+        assert chip.cores[0].warp_fairness() == 1.0
+
+
+class TestHotspotHighWater:
+    def test_high_water_tracked(self, hh_chip):
+        marks = [mc.max_queue_depth for mc in hh_chip.mcs]
+        assert all(m >= 1 for m in marks)
+
+    def test_temporary_hotspots_exceed_steady_state(self, hh_chip):
+        """Section V-E: closed-loop traffic shows temporary hot-spots —
+        the instantaneous peak exceeds the per-MC mean occupancy."""
+        marks = [mc.max_queue_depth for mc in hh_chip.mcs]
+        assert max(marks) >= 2
+
+
+class TestSimulationResultPlumbing:
+    def test_as_dict_round_trip(self, hh_chip):
+        d = hh_chip.result.as_dict()
+        assert d["benchmark"] == "KM"
+        assert d["ipc"] == hh_chip.result.ipc
+        assert set(d) >= {"mc_stall_fraction", "dram_efficiency",
+                          "l1_hit_rate", "l2_hit_rate"}
+
+    def test_hit_rates_in_range(self, hh_chip):
+        r = hh_chip.result
+        assert 0.0 <= r.l1_hit_rate <= 1.0
+        assert 0.0 <= r.l2_hit_rate <= 1.0
+        assert 0.0 <= r.dram_row_hit_rate <= 1.0
+        assert 0.0 <= r.dram_efficiency <= 1.0
+
+    def test_reuse_produces_l1_hits(self, hh_chip):
+        # KM has reuse 0.30, so a visible share of L1 hits must appear.
+        assert hh_chip.result.l1_hit_rate > 0.1

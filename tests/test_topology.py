@@ -1,0 +1,159 @@
+"""Unit and property tests for the mesh topology primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.topology import (Coord, Direction, Mesh, ejection_port,
+                                injection_port, is_terminal_port)
+
+
+class TestDirection:
+    @pytest.mark.parametrize("direction,opposite", [
+        (Direction.NORTH, Direction.SOUTH),
+        (Direction.SOUTH, Direction.NORTH),
+        (Direction.EAST, Direction.WEST),
+        (Direction.WEST, Direction.EAST),
+    ])
+    def test_opposites(self, direction, opposite):
+        assert direction.opposite() is opposite
+
+    def test_opposite_is_involution(self):
+        for d in (Direction.NORTH, Direction.SOUTH, Direction.EAST,
+                  Direction.WEST):
+            assert d.opposite().opposite() is d
+
+    def test_terminal_directions_have_no_opposite(self):
+        with pytest.raises(KeyError):
+            Direction.EJECT.opposite()
+
+
+class TestPorts:
+    def test_injection_port_identity(self):
+        assert injection_port(0) == ("inj", 0)
+        assert injection_port(1) == ("inj", 1)
+
+    def test_ejection_port_identity(self):
+        assert ejection_port() == ("ej", 0)
+
+    def test_terminal_port_predicate(self):
+        assert is_terminal_port(injection_port())
+        assert is_terminal_port(ejection_port(1))
+        assert not is_terminal_port(Direction.NORTH)
+
+
+class TestCoord:
+    def test_neighbor_directions(self):
+        c = Coord(2, 3)
+        assert c.neighbor(Direction.NORTH) == Coord(2, 2)
+        assert c.neighbor(Direction.SOUTH) == Coord(2, 4)
+        assert c.neighbor(Direction.EAST) == Coord(3, 3)
+        assert c.neighbor(Direction.WEST) == Coord(1, 3)
+
+    def test_neighbor_rejects_terminal(self):
+        with pytest.raises(ValueError):
+            Coord(0, 0).neighbor(Direction.EJECT)
+
+    def test_manhattan(self):
+        assert Coord(0, 0).manhattan(Coord(3, 4)) == 7
+        assert Coord(5, 5).manhattan(Coord(5, 5)) == 0
+
+    def test_manhattan_symmetry(self):
+        assert Coord(1, 2).manhattan(Coord(4, 0)) == \
+            Coord(4, 0).manhattan(Coord(1, 2))
+
+    def test_parity(self):
+        assert Coord(0, 0).parity() == 0
+        assert Coord(1, 0).parity() == 1
+        assert Coord(1, 1).parity() == 0
+        assert Coord(2, 3).parity() == 1
+
+    def test_parity_flips_on_every_hop(self):
+        c = Coord(3, 3)
+        for d in (Direction.NORTH, Direction.SOUTH, Direction.EAST,
+                  Direction.WEST):
+            assert c.neighbor(d).parity() != c.parity()
+
+    def test_ordering_is_stable(self):
+        assert sorted([Coord(1, 0), Coord(0, 1)]) == \
+            [Coord(0, 1), Coord(1, 0)]
+
+    @given(st.integers(-50, 50), st.integers(-50, 50),
+           st.integers(-50, 50), st.integers(-50, 50))
+    def test_manhattan_triangle_inequality(self, ax, ay, bx, by):
+        a, b, origin = Coord(ax, ay), Coord(bx, by), Coord(0, 0)
+        assert a.manhattan(b) <= a.manhattan(origin) + origin.manhattan(b)
+
+
+class TestMesh:
+    def test_dimensions(self):
+        mesh = Mesh(6, 6)
+        assert mesh.num_nodes == 36
+        assert mesh.bisection_links() == 12
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Mesh(0, 4)
+
+    def test_contains(self):
+        mesh = Mesh(3, 2)
+        assert mesh.contains(Coord(2, 1))
+        assert not mesh.contains(Coord(3, 0))
+        assert not mesh.contains(Coord(0, -1))
+
+    def test_coords_enumeration(self):
+        mesh = Mesh(2, 2)
+        assert list(mesh.coords()) == [Coord(0, 0), Coord(1, 0),
+                                       Coord(0, 1), Coord(1, 1)]
+
+    def test_index_coord_roundtrip(self):
+        mesh = Mesh(6, 6)
+        for i in range(mesh.num_nodes):
+            assert mesh.index(mesh.coord(i)) == i
+
+    @given(st.integers(1, 12), st.integers(1, 12))
+    def test_index_is_bijection(self, cols, rows):
+        mesh = Mesh(cols, rows)
+        seen = {mesh.index(c) for c in mesh.coords()}
+        assert seen == set(range(mesh.num_nodes))
+
+    def test_index_rejects_outside(self):
+        with pytest.raises(ValueError):
+            Mesh(2, 2).index(Coord(2, 0))
+        with pytest.raises(ValueError):
+            Mesh(2, 2).coord(4)
+
+    def test_corner_has_two_neighbors(self):
+        mesh = Mesh(6, 6)
+        assert len(mesh.neighbors(Coord(0, 0))) == 2
+
+    def test_edge_has_three_neighbors(self):
+        assert len(Mesh(6, 6).neighbors(Coord(3, 0))) == 3
+
+    def test_interior_has_four_neighbors(self):
+        assert len(Mesh(6, 6).neighbors(Coord(3, 3))) == 4
+
+    def test_neighbors_are_reciprocal(self):
+        mesh = Mesh(4, 5)
+        for c in mesh.coords():
+            for d, n in mesh.neighbors(c):
+                back = dict((dd, nn) for dd, nn in mesh.neighbors(n))
+                assert back[d.opposite()] == c
+
+    def test_direction_towards(self):
+        mesh = Mesh(6, 6)
+        assert mesh.direction_towards(Coord(0, 0), Coord(3, 0), "x") \
+            is Direction.EAST
+        assert mesh.direction_towards(Coord(3, 0), Coord(0, 0), "x") \
+            is Direction.WEST
+        assert mesh.direction_towards(Coord(0, 0), Coord(0, 3), "y") \
+            is Direction.SOUTH
+        assert mesh.direction_towards(Coord(0, 3), Coord(0, 0), "y") \
+            is Direction.NORTH
+
+    def test_direction_towards_rejects_no_offset(self):
+        with pytest.raises(ValueError):
+            Mesh(6, 6).direction_towards(Coord(1, 1), Coord(1, 2), "x")
+
+    def test_direction_towards_rejects_bad_axis(self):
+        with pytest.raises(ValueError):
+            Mesh(6, 6).direction_towards(Coord(0, 0), Coord(1, 1), "z")

@@ -1,0 +1,92 @@
+"""Tests for traffic patterns and the open-loop harness."""
+
+import random
+
+import pytest
+
+from repro.core import BASELINE, build, open_loop_variant
+from repro.noc.openloop import OpenLoopRunner
+from repro.noc.topology import Coord
+from repro.noc.traffic import (BernoulliInjector, HotspotManyToFew,
+                               UniformManyToFew, UniformRandom)
+
+MCS = [Coord(1, 0), Coord(2, 0), Coord(3, 0), Coord(4, 0)]
+
+
+class TestPatterns:
+    def test_uniform_targets_only_mcs(self):
+        pat = UniformManyToFew(MCS)
+        rng = random.Random(0)
+        for _ in range(200):
+            assert pat.pick(Coord(0, 0), rng) in MCS
+
+    def test_uniform_roughly_even(self):
+        pat = UniformManyToFew(MCS)
+        rng = random.Random(0)
+        counts = {m: 0 for m in MCS}
+        for _ in range(4000):
+            counts[pat.pick(Coord(0, 0), rng)] += 1
+        for c in counts.values():
+            assert 800 < c < 1200
+
+    def test_uniform_requires_mcs(self):
+        with pytest.raises(ValueError):
+            UniformManyToFew([])
+
+    def test_hotspot_fraction(self):
+        pat = HotspotManyToFew(MCS, hotspot_fraction=0.2)
+        rng = random.Random(0)
+        hot = sum(pat.pick(Coord(0, 0), rng) == MCS[0]
+                  for _ in range(10000))
+        assert 0.17 < hot / 10000 < 0.23
+
+    def test_hotspot_must_be_an_mc(self):
+        with pytest.raises(ValueError):
+            HotspotManyToFew(MCS, hotspot=Coord(0, 0))
+
+    def test_hotspot_fraction_validated(self):
+        with pytest.raises(ValueError):
+            HotspotManyToFew(MCS, hotspot_fraction=1.5)
+
+    def test_uniform_random_excludes_source(self):
+        pat = UniformRandom([Coord(0, 0), Coord(1, 0), Coord(2, 0)])
+        rng = random.Random(0)
+        for _ in range(100):
+            assert pat.pick(Coord(1, 0), rng) != Coord(1, 0)
+
+    def test_bernoulli_rate(self):
+        inj = BernoulliInjector(0.3, random.Random(0))
+        fires = sum(inj.fires() for _ in range(10000))
+        assert 0.27 < fires / 10000 < 0.33
+
+    def test_bernoulli_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BernoulliInjector(-0.1, random.Random(0))
+
+
+class TestOpenLoopRunner:
+    def _runner(self, rate):
+        system = build(open_loop_variant(BASELINE))
+        return OpenLoopRunner(system, system.compute_nodes, system.mc_nodes,
+                              UniformManyToFew(system.mc_nodes), rate)
+
+    def test_low_load_not_saturated(self):
+        point = self._runner(0.01).run(warmup=200, measure=500)
+        assert not point.saturated
+        assert point.packets_measured > 0
+        assert point.mean_latency < 100
+
+    def test_reply_traffic_generated(self):
+        point = self._runner(0.02).run(warmup=200, measure=500)
+        assert point.mean_reply_latency > 0
+        # Replies are 4x larger, so they dominate accepted flits.
+        assert point.accepted_flits_per_cycle > 0
+
+    def test_latency_increases_with_load(self):
+        low = self._runner(0.01).run(warmup=200, measure=600)
+        high = self._runner(0.06).run(warmup=200, measure=600)
+        assert high.mean_latency > low.mean_latency
+
+    def test_heavy_load_saturates(self):
+        point = self._runner(0.5).run(warmup=300, measure=600)
+        assert point.saturated

@@ -1,0 +1,79 @@
+"""Tests for virtual-channel configuration and class/group mapping."""
+
+import pytest
+
+from repro.noc.packet import RouteGroup, TrafficClass
+from repro.noc.vc import VcConfig, dedicated_vc_config, shared_vc_config
+
+
+class TestSharedConfig:
+    def test_baseline_two_vcs(self):
+        cfg = shared_vc_config(vcs_per_class=1)
+        assert cfg.num_vcs == 2
+        assert cfg.allowed_vcs(TrafficClass.REQUEST, RouteGroup.ANY) == (0,)
+        assert cfg.allowed_vcs(TrafficClass.REPLY, RouteGroup.ANY) == (1,)
+
+    def test_four_vc_dor(self):
+        cfg = shared_vc_config(vcs_per_class=2)
+        assert cfg.num_vcs == 4
+        assert cfg.allowed_vcs(TrafficClass.REQUEST, RouteGroup.ANY) == (0, 1)
+        assert cfg.allowed_vcs(TrafficClass.REPLY, RouteGroup.ANY) == (2, 3)
+
+    def test_checkerboard_split(self):
+        cfg = shared_vc_config(vcs_per_class=2, route_split=True)
+        assert cfg.allowed_vcs(TrafficClass.REQUEST, RouteGroup.XY) == (0,)
+        assert cfg.allowed_vcs(TrafficClass.REQUEST, RouteGroup.YX) == (1,)
+        assert cfg.allowed_vcs(TrafficClass.REPLY, RouteGroup.XY) == (2,)
+        assert cfg.allowed_vcs(TrafficClass.REPLY, RouteGroup.YX) == (3,)
+
+    def test_split_disjoint_and_covering(self):
+        cfg = shared_vc_config(vcs_per_class=2, route_split=True)
+        for tclass in TrafficClass:
+            xy = set(cfg.allowed_vcs(tclass, RouteGroup.XY))
+            yx = set(cfg.allowed_vcs(tclass, RouteGroup.YX))
+            both = set(cfg.allowed_vcs(tclass, RouteGroup.ANY))
+            assert xy.isdisjoint(yx)
+            assert xy | yx == both
+
+    def test_classes_disjoint(self):
+        cfg = shared_vc_config(vcs_per_class=2)
+        req = set(cfg.allowed_vcs(TrafficClass.REQUEST, RouteGroup.ANY))
+        rep = set(cfg.allowed_vcs(TrafficClass.REPLY, RouteGroup.ANY))
+        assert req.isdisjoint(rep)
+
+    def test_carries_both(self):
+        cfg = shared_vc_config()
+        assert cfg.carries(TrafficClass.REQUEST)
+        assert cfg.carries(TrafficClass.REPLY)
+
+
+class TestDedicatedConfig:
+    def test_reply_slice(self):
+        cfg = dedicated_vc_config(TrafficClass.REPLY, num_vcs=2)
+        assert cfg.num_vcs == 2
+        assert cfg.carries(TrafficClass.REPLY)
+        assert not cfg.carries(TrafficClass.REQUEST)
+
+    def test_wrong_class_rejected(self):
+        cfg = dedicated_vc_config(TrafficClass.REPLY, num_vcs=2)
+        with pytest.raises(ValueError):
+            cfg.allowed_vcs(TrafficClass.REQUEST, RouteGroup.ANY)
+
+    def test_split_on_dedicated(self):
+        cfg = dedicated_vc_config(TrafficClass.REQUEST, num_vcs=2,
+                                  route_split=True)
+        assert cfg.allowed_vcs(TrafficClass.REQUEST, RouteGroup.XY) == (0,)
+        assert cfg.allowed_vcs(TrafficClass.REQUEST, RouteGroup.YX) == (1,)
+
+    def test_split_needs_two_vcs(self):
+        cfg = dedicated_vc_config(TrafficClass.REQUEST, num_vcs=1,
+                                  route_split=True)
+        with pytest.raises(ValueError):
+            cfg.allowed_vcs(TrafficClass.REQUEST, RouteGroup.XY)
+
+
+class TestValidation:
+    def test_unknown_group_rejected(self):
+        cfg = shared_vc_config(vcs_per_class=2, route_split=True)
+        with pytest.raises(ValueError):
+            cfg.allowed_vcs(TrafficClass.REQUEST, "diagonal")

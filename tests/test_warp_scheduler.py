@@ -1,0 +1,74 @@
+"""Tests for warp state and round-robin scheduling."""
+
+import pytest
+
+from repro.gpu.warp import RoundRobinWarpScheduler, Warp
+
+
+class TestWarpState:
+    def test_fresh_warp_ready(self):
+        assert not Warp(0).blocked(cycle=0)
+
+    def test_pipeline_hazard_blocks(self):
+        w = Warp(0, ready_at=10)
+        assert w.blocked(5)
+        assert not w.blocked(10)
+
+    def test_pending_loads_block(self):
+        w = Warp(0)
+        w.pending_loads = 2
+        assert w.blocked(100)
+        w.pending_loads = 0
+        assert not w.blocked(100)
+
+    def test_finished_blocks_forever(self):
+        w = Warp(0)
+        w.finished = True
+        assert w.blocked(10 ** 9)
+
+
+class TestScheduler:
+    def test_requires_warps(self):
+        with pytest.raises(ValueError):
+            RoundRobinWarpScheduler([])
+
+    def test_round_robin_order(self):
+        warps = [Warp(i) for i in range(3)]
+        sched = RoundRobinWarpScheduler(warps)
+        picks = [sched.pick(0).warp_id for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_blocked(self):
+        warps = [Warp(0), Warp(1), Warp(2)]
+        warps[1].pending_loads = 1
+        sched = RoundRobinWarpScheduler(warps)
+        picks = [sched.pick(0).warp_id for _ in range(4)]
+        assert picks == [0, 2, 0, 2]
+
+    def test_none_when_all_blocked(self):
+        warps = [Warp(0), Warp(1)]
+        for w in warps:
+            w.pending_loads = 1
+        assert RoundRobinWarpScheduler(warps).pick(0) is None
+
+    def test_unblocked_warp_rejoins(self):
+        warps = [Warp(0), Warp(1)]
+        warps[0].pending_loads = 1
+        sched = RoundRobinWarpScheduler(warps)
+        assert sched.pick(0).warp_id == 1
+        warps[0].pending_loads = 0
+        assert sched.pick(0).warp_id == 0
+
+    def test_ready_at_respected(self):
+        warps = [Warp(0, ready_at=5), Warp(1)]
+        sched = RoundRobinWarpScheduler(warps)
+        assert sched.pick(0).warp_id == 1
+        assert sched.pick(5).warp_id == 0
+
+    def test_all_finished(self):
+        warps = [Warp(0), Warp(1)]
+        sched = RoundRobinWarpScheduler(warps)
+        assert not sched.all_finished()
+        for w in warps:
+            w.finished = True
+        assert sched.all_finished()

@@ -1,0 +1,189 @@
+"""Tests for benchmark profiles and the synthetic kernel generator."""
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.instruction import InstrKind
+from repro.noc.topology import Coord
+from repro.workloads.generator import (LINE_BYTES, SyntheticKernel,
+                                       expected_global_access_rate)
+from repro.workloads.profiles import (BY_ABBR, GROUPS, PROFILES,
+                                      BenchmarkProfile, profile, rodinia)
+
+CORE = Coord(0, 0)
+
+
+class TestProfiles:
+    def test_thirty_one_benchmarks(self):
+        assert len(PROFILES) == 31
+
+    def test_groups_match_paper_counts(self):
+        assert len(GROUPS["LL"]) == 11
+        assert len(GROUPS["LH"]) == 11
+        assert len(GROUPS["HH"]) == 9
+
+    def test_paper_group_membership(self):
+        assert "AES" in GROUPS["LL"]
+        assert "NNC" in GROUPS["LH"]
+        assert "MUM" in GROUPS["HH"]
+        assert "RD" in GROUPS["HH"]
+
+    def test_abbreviations_unique(self):
+        assert len(BY_ABBR) == len(PROFILES)
+
+    def test_lookup(self):
+        assert profile("RD").name == "Parallel Reduction"
+        with pytest.raises(KeyError):
+            profile("XYZ")
+
+    def test_rodinia_subset(self):
+        names = {p.abbr for p in rodinia()}
+        assert {"HSP", "BFS", "KM", "MUM"} <= names
+        assert "AES" not in names
+
+    def test_nnc_has_few_warps(self):
+        """The paper singles NNC out for insufficient threads."""
+        assert profile("NNC").warps_per_core < 16
+
+    def test_validation_rejects_bad_values(self):
+        base = profile("RD")
+        with pytest.raises(ValueError):
+            dataclasses.replace(base, mem_fraction=1.5)
+        with pytest.raises(ValueError):
+            dataclasses.replace(base, divergence=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(base, warps_per_core=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(base, expected_group="XX")
+
+    def test_hh_more_memory_intensive_than_ll(self):
+        hh = [expected_global_access_rate(profile(a)) for a in GROUPS["HH"]]
+        ll = [expected_global_access_rate(profile(a)) for a in GROUPS["LL"]]
+        assert min(hh) > max(ll)
+
+
+class TestGenerator:
+    def test_deterministic_across_instances(self):
+        a = SyntheticKernel(profile("RD"), seed=3)
+        b = SyntheticKernel(profile("RD"), seed=3)
+        for _ in range(200):
+            ia = a.next_instruction(CORE, 0)
+            ib = b.next_instruction(CORE, 0)
+            assert ia.kind == ib.kind and ia.line_addrs == ib.line_addrs
+
+    def test_seed_changes_stream(self):
+        a = SyntheticKernel(profile("RD"), seed=1)
+        b = SyntheticKernel(profile("RD"), seed=2)
+        streams_differ = any(
+            a.next_instruction(CORE, 0).line_addrs
+            != b.next_instruction(CORE, 0).line_addrs
+            for _ in range(100))
+        assert streams_differ
+
+    def test_memory_fraction_statistics(self):
+        p = profile("RD")
+        kernel = SyntheticKernel(p, seed=0)
+        n = 4000
+        mem = sum(kernel.next_instruction(CORE, 0).kind is not InstrKind.ALU
+                  for _ in range(n))
+        assert abs(mem / n - p.mem_fraction) < 0.05
+
+    def test_store_fraction_statistics(self):
+        p = profile("FWT")
+        kernel = SyntheticKernel(p, seed=0)
+        loads = stores = 0
+        for _ in range(6000):
+            instr = kernel.next_instruction(CORE, 0)
+            if instr.kind is InstrKind.GLOBAL_LOAD:
+                loads += 1
+            elif instr.kind is InstrKind.GLOBAL_STORE:
+                stores += 1
+        frac = stores / (loads + stores)
+        assert abs(frac - p.store_fraction) < 0.06
+
+    def test_divergence_bounds(self):
+        kernel = SyntheticKernel(profile("MUM"), seed=0)
+        for _ in range(500):
+            instr = kernel.next_instruction(CORE, 0)
+            if instr.is_global:
+                assert 1 <= len(instr.line_addrs) <= 32
+
+    def test_coalesced_benchmark_single_line(self):
+        kernel = SyntheticKernel(profile("RD"), seed=0)
+        for _ in range(500):
+            instr = kernel.next_instruction(CORE, 0)
+            if instr.is_global:
+                assert len(instr.line_addrs) == 1
+
+    def test_addresses_line_aligned(self):
+        kernel = SyntheticKernel(profile("KM"), seed=0)
+        for _ in range(500):
+            instr = kernel.next_instruction(CORE, 0)
+            for addr in instr.line_addrs:
+                assert addr % LINE_BYTES == 0
+
+    def test_cores_have_disjoint_regions(self):
+        kernel = SyntheticKernel(profile("SCP"), seed=0)
+        lines_a, lines_b = set(), set()
+        for _ in range(2000):
+            ia = kernel.next_instruction(Coord(0, 0), 0)
+            ib = kernel.next_instruction(Coord(1, 0), 0)
+            lines_a.update(ia.line_addrs)
+            lines_b.update(ib.line_addrs)
+        assert lines_a.isdisjoint(lines_b)
+
+    def test_finite_kernel_ends(self):
+        kernel = SyntheticKernel(profile("AES"), seed=0,
+                                 instructions_per_warp=10)
+        got = [kernel.next_instruction(CORE, 0) for _ in range(12)]
+        assert all(i is not None for i in got[:10])
+        assert got[10] is None and got[11] is None
+
+    def test_finite_kernel_per_warp(self):
+        kernel = SyntheticKernel(profile("AES"), seed=0,
+                                 instructions_per_warp=5)
+        for w in range(3):
+            for _ in range(5):
+                assert kernel.next_instruction(CORE, w) is not None
+            assert kernel.next_instruction(CORE, w) is None
+
+    def test_streaming_warps_interleave(self):
+        """Grid-stride streaming: warps of one core share the region."""
+        p = profile("RD")
+        kernel = SyntheticKernel(
+            dataclasses.replace(p, mem_fraction=1.0, reuse=0.0,
+                                shared_fraction=0.0, streaming=1.0),
+            seed=0)
+        w0 = [kernel.next_instruction(CORE, 0).line_addrs[0]
+              for _ in range(4)]
+        w1 = [kernel.next_instruction(CORE, 1).line_addrs[0]
+              for _ in range(4)]
+        stride = p.warps_per_core * LINE_BYTES
+        assert w0[1] - w0[0] == stride
+        assert w1[0] - w0[0] == LINE_BYTES
+
+
+class TestSimdEfficiency:
+    def test_default_full_mask(self):
+        kernel = SyntheticKernel(profile("RD"), seed=0)
+        for _ in range(200):
+            assert kernel.next_instruction(CORE, 0).active_threads == 32
+
+    def test_divergent_benchmark_partial_masks(self):
+        p = profile("MUM")
+        assert p.simd_efficiency < 1.0
+        kernel = SyntheticKernel(p, seed=0)
+        masks = [kernel.next_instruction(CORE, 0).active_threads
+                 for _ in range(600)]
+        assert all(1 <= m <= 32 for m in masks)
+        mean = sum(masks) / len(masks)
+        assert abs(mean - 32 * p.simd_efficiency) < 4
+
+    def test_validation_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(profile("RD"), simd_efficiency=0.0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(profile("RD"), simd_efficiency=1.5)
