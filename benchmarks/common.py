@@ -12,6 +12,10 @@ Environment knobs:
 * ``REPRO_BENCH_WARMUP`` / ``REPRO_BENCH_MEASURE`` — simulation window in
   interconnect cycles (defaults 400 / 800; the shapes are stable well before
   that).
+* ``REPRO_JOBS`` — worker processes for the design x benchmark sweeps
+  (default 1 = serial; results are bit-identical either way).
+* ``REPRO_CACHE_DIR`` — set together with ``REPRO_BENCH_CACHE=1`` to reuse
+  simulation results across bench invocations.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.builder import NetworkDesign
+from repro.experiments import compare_designs
 from repro.system.accelerator import (SimulationResult, build_chip,
                                       perfect_chip)
 from repro.workloads.profiles import PROFILES, BenchmarkProfile, profile
@@ -30,6 +35,8 @@ RESULTS_DIR = Path(__file__).parent / "results"
 WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "400"))
 MEASURE = int(os.environ.get("REPRO_BENCH_MEASURE", "800"))
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "11"))
+JOBS = int(os.environ.get("REPRO_JOBS", "1") or "1")
+CACHE = True if os.environ.get("REPRO_BENCH_CACHE") == "1" else None
 
 
 def bench_profiles() -> List[BenchmarkProfile]:
@@ -53,12 +60,17 @@ def run_perfect(prof: BenchmarkProfile) -> SimulationResult:
 def sweep(designs: Sequence[NetworkDesign],
           profiles: Optional[Sequence[BenchmarkProfile]] = None,
           ) -> Dict[str, Dict[str, SimulationResult]]:
-    """results[design name][benchmark abbr] -> SimulationResult."""
+    """results[design name][benchmark abbr] -> SimulationResult.
+
+    Delegates to :func:`repro.experiments.compare_designs`, so the design x
+    benchmark grid fans out over ``REPRO_JOBS`` worker processes (serial by
+    default) with per-point derived seeds.
+    """
     profiles = profiles if profiles is not None else bench_profiles()
-    return {
-        design.name: {p.abbr: run_design(p, design) for p in profiles}
-        for design in designs
-    }
+    comparison = compare_designs(designs, profiles=profiles, warmup=WARMUP,
+                                 measure=MEASURE, seed=SEED, jobs=JOBS,
+                                 cache=CACHE)
+    return comparison.results
 
 
 def report(name: str, lines: Iterable[str]) -> None:

@@ -15,14 +15,15 @@ obtained programmatically (see examples/).
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 from typing import List, Optional
 
 from .area.chip import design_noc_area, throughput_effectiveness
-from .core.builder import NAMED_DESIGNS, design_by_name, open_loop_variant, \
-    build
-from .noc.openloop import OpenLoopRunner
+from .core.builder import NAMED_DESIGNS, design_by_name
+from .experiments import compare_designs, load_latency_curves
 from .noc.traffic import HotspotManyToFew, UniformManyToFew
+from .parallel import log_progress
 from .system.accelerator import build_chip, perfect_chip
 from .workloads.profiles import PROFILES, profile
 
@@ -77,13 +78,15 @@ def _cmd_run(args) -> int:
 def _cmd_compare(args) -> int:
     prof = profile(args.benchmark.upper())
     names = [n.strip() for n in args.designs.split(",")]
-    results = []
-    for name in names:
-        chip = build_chip(prof, design=design_by_name(name), seed=args.seed)
-        results.append(chip.run(warmup=args.warmup, measure=args.measure))
-    base = results[0]
+    comparison = compare_designs(
+        [design_by_name(n) for n in names], profiles=[prof],
+        warmup=args.warmup, measure=args.measure, seed=args.seed,
+        jobs=args.jobs, cache=args.cache,
+        progress=log_progress if args.progress else None)
+    base = comparison.results[names[0]][prof.abbr]
     print(f"{'design':26s} {'IPC':>8s} {'speedup':>8s} {'IPC/mm2':>9s}")
-    for name, result in zip(names, results):
+    for name in names:
+        result = comparison.results[name][prof.abbr]
         area = design_noc_area(design_by_name(name)).total_chip
         te = throughput_effectiveness(result.ipc, area)
         print(f"{name:26s} {result.ipc:8.2f} "
@@ -106,20 +109,22 @@ def _cmd_area(args) -> int:
 def _cmd_sweep(args) -> int:
     design = design_by_name(args.design)
     rates = [float(r) for r in args.rates.split(",")]
-    print(f"open-loop sweep of {design.name} "
-          f"({'hotspot' if args.hotspot else 'uniform'} many-to-few)")
+    if args.hotspot:
+        pattern_name = "hotspot"
+        factory = functools.partial(HotspotManyToFew, hotspot_fraction=0.2)
+    else:
+        pattern_name = "uniform"
+        factory = UniformManyToFew
+    (curve,) = load_latency_curves(
+        [design], rates, factory, pattern_name=pattern_name,
+        warmup=args.warmup, measure=args.measure, seed=args.seed,
+        jobs=args.jobs, progress=log_progress if args.progress else None)
+    print(f"open-loop sweep of {design.name} ({pattern_name} many-to-few)")
     print(f"{'rate':>8s} {'latency':>9s} {'accepted':>9s} {'saturated':>10s}")
-    for rate in rates:
-        system = build(open_loop_variant(design), seed=args.seed)
-        pattern = (HotspotManyToFew(system.mc_nodes, 0.2) if args.hotspot
-                   else UniformManyToFew(system.mc_nodes))
-        runner = OpenLoopRunner(system, system.compute_nodes,
-                                system.mc_nodes, pattern, rate,
-                                seed=args.seed)
-        point = runner.run(warmup=args.warmup, measure=args.measure)
+    for point in curve.points:
         latency = ("inf" if point.mean_latency == float("inf")
                    else f"{point.mean_latency:.1f}")
-        print(f"{rate:8.3f} {latency:>9s} "
+        print(f"{point.offered_rate:8.3f} {latency:>9s} "
               f"{point.accepted_flits_per_cycle:9.2f} "
               f"{'yes' if point.saturated else 'no':>10s}")
     return 0
@@ -144,11 +149,26 @@ def make_parser() -> argparse.ArgumentParser:
                      help="design name or 'perfect'")
     sim_args(run)
 
+    def positive_int(text):
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+        return value
+
+    def parallel_args(p):
+        p.add_argument("--jobs", type=positive_int, default=None,
+                       help="worker processes (default: REPRO_JOBS or 1)")
+        p.add_argument("--progress", action="store_true",
+                       help="print per-task wall-clock progress to stderr")
+
     cmp_ = sub.add_parser("compare", help="compare designs on one benchmark")
     cmp_.add_argument("--benchmark", required=True)
     cmp_.add_argument("--designs", required=True,
                       help="comma-separated design names (first = baseline)")
+    cmp_.add_argument("--cache", default=None, metavar="DIR",
+                      help="on-disk result cache directory")
     sim_args(cmp_)
+    parallel_args(cmp_)
 
     area = sub.add_parser("area", help="area model (Table VI)")
     area.add_argument("--design")
@@ -160,6 +180,7 @@ def make_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--warmup", type=int, default=800)
     sweep.add_argument("--measure", type=int, default=2500)
     sweep.add_argument("--seed", type=int, default=7)
+    parallel_args(sweep)
 
     return parser
 

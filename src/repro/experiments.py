@@ -12,7 +12,18 @@ same studies without pytest:
 * :func:`load_latency_curves` — open-loop latency-versus-load sweeps for a
   set of designs and traffic patterns (Figure 21).
 
-Everything returns plain dataclasses that are trivially serialisable.
+Everything returns plain dataclasses that round-trip through JSON exactly
+(``to_json``/``from_json``).
+
+Each study decomposes into independent simulation tasks — one per
+(design, benchmark) or (design, pattern, rate) point — executed through the
+pluggable executor in :mod:`repro.parallel`: ``jobs=1`` runs serially,
+``jobs=N`` fans out over a process pool, and both paths are guaranteed to
+produce field-for-field identical results (see
+``tests/test_parallel_golden.py``).  Every task gets its own seed via
+:func:`repro.parallel.derive_seed`, so design points are statistically
+independent; an optional on-disk cache (``cache=``) skips simulations whose
+exact specification has already been run.
 """
 
 from __future__ import annotations
@@ -20,10 +31,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from .core.builder import NetworkDesign, build, open_loop_variant
-from .noc.openloop import LoadLatencyPoint, OpenLoopRunner
+from .core.builder import NetworkDesign
+from .noc.openloop import LoadLatencyPoint
 from .noc.traffic import DestinationPattern
-from .system.accelerator import SimulationResult, build_chip, perfect_chip
+from .parallel import SimTask, derive_seed, run_tasks
+from .system.accelerator import SimulationResult
 from .system.config import ChipConfig
 from .system.metrics import classify, harmonic_mean
 from .workloads.profiles import PROFILES, BenchmarkProfile
@@ -53,27 +65,60 @@ class DesignComparison:
         return {name: self.hm_speedup(name) for name in self.results
                 if name != self.baseline}
 
+    def to_json(self) -> dict:
+        """JSON-compatible dict; exact float round trip."""
+        return {
+            "baseline": self.baseline,
+            "results": {design: {abbr: r.to_json()
+                                 for abbr, r in per_bench.items()}
+                        for design, per_bench in self.results.items()},
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "DesignComparison":
+        """Inverse of :meth:`to_json` with field-for-field equality."""
+        return cls(
+            baseline=data["baseline"],
+            results={design: {abbr: SimulationResult.from_json(r)
+                              for abbr, r in per_bench.items()}
+                     for design, per_bench in data["results"].items()},
+        )
+
 
 def compare_designs(designs: Sequence[NetworkDesign],
                     profiles: Optional[Sequence[BenchmarkProfile]] = None,
                     baseline: Optional[NetworkDesign] = None,
                     config: Optional[ChipConfig] = None,
                     warmup: int = 400, measure: int = 800,
-                    seed: int = 11) -> DesignComparison:
+                    seed: int = 11, jobs: Optional[int] = None,
+                    cache=None, progress=None) -> DesignComparison:
     """Run each design over the suite; the first design (or ``baseline``)
-    anchors the speedups."""
+    anchors the speedups.
+
+    One independent task per (design, benchmark) point, each with its own
+    derived seed; ``jobs``/``cache``/``progress`` are forwarded to
+    :func:`repro.parallel.run_tasks`.
+    """
     profiles = list(profiles) if profiles is not None else list(PROFILES)
     designs = list(designs)
     if baseline is not None and baseline not in designs:
         designs.insert(0, baseline)
     base_name = (baseline or designs[0]).name
+    tasks = [
+        SimTask(kind="closed", label=f"{design.name}/{prof.abbr}",
+                seed=derive_seed(seed, "closed", design.name, prof.abbr),
+                warmup=warmup, measure=measure, design=design,
+                profile=prof, config=config)
+        for design in designs for prof in profiles
+    ]
+    payloads = run_tasks(tasks, jobs=jobs, cache=cache, progress=progress)
     results: Dict[str, Dict[str, SimulationResult]] = {}
+    it = iter(payloads)
     for design in designs:
-        per_bench = {}
-        for prof in profiles:
-            chip = build_chip(prof, design=design, config=config, seed=seed)
-            per_bench[prof.abbr] = chip.run(warmup=warmup, measure=measure)
-        results[design.name] = per_bench
+        results[design.name] = {
+            prof.abbr: SimulationResult.from_json(next(it)["result"])
+            for prof in profiles
+        }
     return DesignComparison(results=results, baseline=base_name)
 
 
@@ -120,15 +165,33 @@ def classify_benchmarks(
         profiles: Optional[Sequence[BenchmarkProfile]] = None,
         config: Optional[ChipConfig] = None,
         warmup: int = 400, measure: int = 800,
-        seed: int = 11) -> Characterization:
-    """Figure 7's study: perfect network versus the baseline mesh."""
+        seed: int = 11, jobs: Optional[int] = None,
+        cache=None, progress=None) -> Characterization:
+    """Figure 7's study: perfect network versus the baseline mesh.
+
+    Two tasks per benchmark (baseline mesh and perfect NoC), fanned out
+    through :func:`repro.parallel.run_tasks`.  The baseline tasks share
+    their seed derivation with :func:`compare_designs`, so a result cache
+    is reused across the two studies.
+    """
     profiles = list(profiles) if profiles is not None else list(PROFILES)
-    rows = []
+    tasks: List[SimTask] = []
     for prof in profiles:
-        base = build_chip(prof, design=baseline_design, config=config,
-                          seed=seed).run(warmup=warmup, measure=measure)
-        perfect = perfect_chip(prof, config=config, seed=seed).run(
-            warmup=warmup, measure=measure)
+        tasks.append(SimTask(
+            kind="closed", label=f"{baseline_design.name}/{prof.abbr}",
+            seed=derive_seed(seed, "closed", baseline_design.name,
+                             prof.abbr),
+            warmup=warmup, measure=measure, design=baseline_design,
+            profile=prof, config=config))
+        tasks.append(SimTask(
+            kind="perfect", label=f"perfect/{prof.abbr}",
+            seed=derive_seed(seed, "perfect", prof.abbr),
+            warmup=warmup, measure=measure, profile=prof, config=config))
+    payloads = run_tasks(tasks, jobs=jobs, cache=cache, progress=progress)
+    rows = []
+    for i, prof in enumerate(profiles):
+        base = SimulationResult.from_json(payloads[2 * i]["result"])
+        perfect = SimulationResult.from_json(payloads[2 * i + 1]["result"])
         speedup = perfect.ipc / base.ipc - 1.0
         traffic = perfect.accepted_bytes_per_cycle_per_node
         rows.append(BenchmarkClass(
@@ -156,6 +219,18 @@ class LoadLatencyCurve:
                 return point.offered_rate
         return float("inf")
 
+    def to_json(self) -> dict:
+        """JSON-compatible dict; exact float round trip."""
+        return {"design": self.design, "pattern": self.pattern,
+                "points": [p.to_json() for p in self.points]}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "LoadLatencyCurve":
+        """Inverse of :meth:`to_json` with field-for-field equality."""
+        return cls(design=data["design"], pattern=data["pattern"],
+                   points=[LoadLatencyPoint.from_json(p)
+                           for p in data["points"]])
+
 
 def load_latency_curves(
         designs: Sequence[NetworkDesign],
@@ -163,17 +238,36 @@ def load_latency_curves(
         pattern_factory: Callable[[List], DestinationPattern],
         pattern_name: str = "uniform",
         warmup: int = 1000, measure: int = 3000,
-        seed: int = 7) -> List[LoadLatencyCurve]:
-    """Figure 21's open-loop study over a set of designs."""
+        seed: int = 7, jobs: Optional[int] = None,
+        cache=None, progress=None) -> List[LoadLatencyCurve]:
+    """Figure 21's open-loop study over a set of designs.
+
+    Every (design, pattern, rate) point gets an independently derived seed
+    (a single shared seed would correlate the Bernoulli injection streams
+    across points) and runs as its own task.  For ``jobs > 1`` the
+    ``pattern_factory`` must be picklable — a class like
+    :class:`~repro.noc.traffic.UniformManyToFew` or a
+    :func:`functools.partial`, not a lambda.  ``pattern_name`` doubles as
+    the cache discriminator for the pattern, so keep it unique per pattern
+    configuration.
+    """
+    designs = list(designs)
+    rates = list(rates)
+    tasks = [
+        SimTask(kind="openloop",
+                label=f"{design.name}/{pattern_name}@{rate:g}",
+                seed=derive_seed(seed, "openloop", design.name,
+                                 pattern_name, rate),
+                warmup=warmup, measure=measure, design=design,
+                pattern_factory=pattern_factory, pattern_name=pattern_name,
+                rate=rate)
+        for design in designs for rate in rates
+    ]
+    payloads = run_tasks(tasks, jobs=jobs, cache=cache, progress=progress)
     curves = []
+    it = iter(payloads)
     for design in designs:
-        points = []
-        for rate in rates:
-            system = build(open_loop_variant(design), seed=seed)
-            runner = OpenLoopRunner(system, system.compute_nodes,
-                                    system.mc_nodes,
-                                    pattern_factory(system.mc_nodes),
-                                    rate, seed=seed)
-            points.append(runner.run(warmup=warmup, measure=measure))
+        points = [LoadLatencyPoint.from_json(next(it)["result"])
+                  for _ in rates]
         curves.append(LoadLatencyCurve(design.name, pattern_name, points))
     return curves

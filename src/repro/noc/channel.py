@@ -20,7 +20,7 @@ class Channel:
 
     __slots__ = ("latency", "credit_delay", "src_router", "src_port",
                  "dst_router", "dst_port", "_flits", "_credits",
-                 "flits_carried")
+                 "flits_carried", "watch")
 
     def __init__(self, latency: int = 1, credit_delay: int = 1) -> None:
         if latency < 1:
@@ -34,6 +34,10 @@ class Channel:
         self._flits: Deque[Tuple[int, Flit, int]] = deque()
         self._credits: Deque[Tuple[int, int]] = deque()
         self.flits_carried = 0
+        #: Optional callback fired when the channel becomes busy; the
+        #: network uses it to keep an active-channel set so that idle
+        #: channels are skipped entirely by the cycle loop.
+        self.watch = None
 
     def connect(self, src_router, src_port: PortId,
                 dst_router, dst_port: PortId) -> None:
@@ -45,21 +49,30 @@ class Channel:
     def send_flit(self, flit: Flit, vc: int, cycle: int) -> None:
         self._flits.append((cycle + self.latency, flit, vc))
         self.flits_carried += 1
+        if self.watch is not None:
+            self.watch(self)
 
     def send_credit(self, vc: int, cycle: int) -> None:
         self._credits.append((cycle + self.credit_delay, vc))
+        if self.watch is not None:
+            self.watch(self)
 
     @property
     def busy(self) -> bool:
         return bool(self._flits or self._credits)
 
-    def deliver(self, cycle: int) -> None:
-        """Deliver all flits and credits whose delay has elapsed."""
+    def deliver(self, cycle: int) -> int:
+        """Deliver all flits and credits whose delay has elapsed; returns
+        the number of flits (not credits) handed to the downstream router,
+        so the network knows whether any router just became busy."""
+        delivered = 0
         flits = self._flits
         while flits and flits[0][0] <= cycle:
             _, flit, vc = flits.popleft()
             self.dst_router.deliver_flit(self.dst_port, vc, flit, cycle)
+            delivered += 1
         credits = self._credits
         while credits and credits[0][0] <= cycle:
             _, vc = credits.popleft()
             self.src_router.deliver_credit(self.src_port, vc)
+        return delivered

@@ -77,6 +77,16 @@ class MeshNetwork:
         self._handlers: Dict[Coord, Callable[[Packet, int], None]] = {}
         self._reassembly: Dict[int, int] = {}
 
+        #: Channels with flits or credits in flight (insertion-ordered so
+        #: traversal stays deterministic); idle channels are never touched
+        #: by the cycle loop.
+        self._active_channels: Dict[Channel, None] = {}
+        #: True while any router may hold buffered flits; cleared by a full
+        #: scan that finds every router empty.
+        self._routers_active = False
+        #: Total flits queued across all source ports (all nodes).
+        self._source_flits = 0
+
         self.routers: Dict[Coord, Router] = {}
         self.channels: List[Channel] = []
         for coord in mesh.coords():
@@ -93,6 +103,7 @@ class MeshNetwork:
                 dst = self.routers[neighbor]
                 dst_port = direction.opposite()
                 channel.connect(router, direction, dst, dst_port)
+                channel.watch = self._wake_channel
                 router.attach_output_channel(direction, channel)
                 dst.attach_input_channel(dst_port, channel)
                 self.channels.append(channel)
@@ -137,24 +148,46 @@ class MeshNetwork:
         self._source_rr[packet.src] = (rr + 1) % len(ports)
         ports[rr].fifo.append(packet)
         self._source_occupancy[packet.src] = occupancy + num_flits
+        self._source_flits += num_flits
         return True
 
     def step(self, cycle: Optional[int] = None) -> None:
-        """Advance one interconnect cycle."""
+        """Advance one interconnect cycle.
+
+        Idle fast-path: only channels with traffic in flight are delivered,
+        routers are stepped only while flits are buffered somewhere (or have
+        just arrived), and the source drain runs only for nodes with queued
+        flits.  A fully idle network reduces to a cycle-counter bump, which
+        is what makes light-traffic closed-loop benchmarks cheap.  The
+        bookkeeping is event-driven and deterministic, so results are
+        bit-identical to the exhaustive scan.
+        """
         self.cycle = self.cycle + 1 if cycle is None else cycle
         now = self.cycle
         self.stats.cycles = now
-        for channel in self.channels:
-            if channel.busy:
-                channel.deliver(now)
-        for router in self.routers.values():
-            if router.occupancy:
-                for flit, _port in router.step(now):
-                    self._eject(flit, now)
-        for coord, ports in self._sources.items():
-            router = self.routers[coord]
-            for port in ports:
-                self._drain_source(coord, router, port, now)
+        flits_arrived = False
+        if self._active_channels:
+            for channel in list(self._active_channels):
+                if channel.deliver(now):
+                    flits_arrived = True
+                if not channel.busy:
+                    del self._active_channels[channel]
+        if self._routers_active or flits_arrived:
+            busy = False
+            for router in self.routers.values():
+                if router.occupancy:
+                    for flit, _port in router.step(now):
+                        self._eject(flit, now)
+                    if router.occupancy:
+                        busy = True
+            self._routers_active = busy
+        if self._source_flits:
+            occupancy = self._source_occupancy
+            for coord, ports in self._sources.items():
+                if occupancy[coord]:
+                    router = self.routers[coord]
+                    for port in ports:
+                        self._drain_source(coord, router, port, now)
 
     def channel_utilization(self) -> Dict[Tuple[Coord, Coord], float]:
         """Flits carried per cycle for every directed mesh link — the
@@ -192,6 +225,10 @@ class MeshNetwork:
 
     # -- internals ----------------------------------------------------------
 
+    def _wake_channel(self, channel: Channel) -> None:
+        """Channel watch hook: mark ``channel`` as carrying traffic."""
+        self._active_channels[channel] = None
+
     def _drain_source(self, coord: Coord, router: Router,
                       port: _SourcePort, now: int) -> None:
         if port.flits is None:
@@ -210,6 +247,8 @@ class MeshNetwork:
             flit = port.flits.popleft()
             router.deliver_flit(port.port_id, port.vc, flit, now)
             self._source_occupancy[coord] -= 1
+            self._source_flits -= 1
+            self._routers_active = True
             if not port.flits:
                 port.flits = None
                 port.vc = None

@@ -29,6 +29,17 @@ class LoadLatencyPoint:
     packets_measured: int
     saturated: bool
 
+    def to_json(self) -> dict:
+        """JSON-compatible dict (``inf`` latencies included); floats
+        round-trip exactly for the parallel harness's transport and cache."""
+        from dataclasses import asdict
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "LoadLatencyPoint":
+        """Inverse of :meth:`to_json` with field-for-field equality."""
+        return cls(**data)
+
 
 class OpenLoopRunner:
     """Drives one network instance at one offered load."""

@@ -142,6 +142,7 @@ class Router:
         self._eject_pointer = 0
         self._allocator: Optional[SeparableAllocator] = None
         self._input_order: Tuple[PortId, ...] = ()
+        self._ordered_inputs: Tuple[Tuple[PortId, List[_InputVc]], ...] = ()
         self._va_rotate = 0
         #: Flits currently buffered; routers with zero occupancy are skipped.
         self.occupancy = 0
@@ -168,6 +169,10 @@ class Router:
     def finalize(self) -> None:
         """Build the switch allocator once all ports are attached."""
         self._input_order = tuple(sorted(self.in_ports, key=str))
+        # The allocation loops walk the inputs every cycle; resolve the
+        # port -> VC-list mapping once instead of per cycle.
+        self._ordered_inputs = tuple(
+            (port, self.in_ports[port]) for port in self._input_order)
         self._allocator = SeparableAllocator(
             self._input_order, self.num_vcs,
             tuple(sorted(self.out_ports, key=str)))
@@ -204,13 +209,13 @@ class Router:
 
     # Route computation + VC allocation.
     def _route_and_allocate(self, cycle: int) -> None:
-        order = self._input_order
-        n = len(order)
+        inputs = self._ordered_inputs
+        n = len(inputs)
         rotate = self._va_rotate
         self._va_rotate = (rotate + 1) % max(1, n)
         for i in range(n):
-            in_port = order[(i + rotate) % n]
-            for in_vc, vc_state in enumerate(self.in_ports[in_port]):
+            in_port, in_vcs = inputs[(i + rotate) % n]
+            for in_vc, vc_state in enumerate(in_vcs):
                 buf = vc_state.buffer
                 if not buf:
                     continue
@@ -268,9 +273,9 @@ class Router:
     # Switch allocation + traversal.
     def _switch(self, cycle: int) -> List[Tuple[Flit, PortId]]:
         requests: Dict[PortId, Dict[int, PortId]] = {}
-        for in_port in self._input_order:
+        for in_port, in_vcs in self._ordered_inputs:
             vc_requests: Dict[int, PortId] = {}
-            for vc_idx, vc_state in enumerate(self.in_ports[in_port]):
+            for vc_idx, vc_state in enumerate(in_vcs):
                 if vc_state.out_vc is None or not vc_state.buffer:
                     continue
                 flit = vc_state.buffer[0]

@@ -1,0 +1,362 @@
+"""Parallel experiment execution layer.
+
+Every study in :mod:`repro.experiments` decomposes into independent
+simulation *tasks* — one closed-loop chip run per (design, benchmark) point
+or one open-loop sweep point per (design, pattern, rate).  This module is
+the pluggable executor underneath them:
+
+* :func:`run_tasks` — execute a list of :class:`SimTask`\\ s serially
+  (``jobs=1``, the default) or fanned out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (``jobs=N``), with
+  per-task wall-clock reporting and an optional on-disk result cache.
+* :func:`derive_seed` — deterministic, platform-independent per-task seed
+  derivation (SHA-256 based, immune to ``PYTHONHASHSEED``), so every design
+  point is statistically independent yet exactly reproducible.
+* :class:`ResultCache` — an on-disk store keyed by a stable hash of the
+  full task specification ``(ChipConfig, NetworkDesign, profile, seed,
+  warmup, measure)``; any field change produces a different key.
+
+The determinism contract: for the same task list, ``jobs=1`` and ``jobs=N``
+produce field-for-field identical results.  Both paths execute the same
+:func:`_run_task` worker and transport results as JSON (floats round-trip
+exactly through ``repr``), so the only difference is *where* the work runs.
+Tasks shipped to worker processes must be picklable — in practice that
+means module-level pattern factories (classes or :func:`functools.partial`)
+rather than lambdas.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+# ---------------------------------------------------------------------------
+# Stable hashing and seed derivation
+# ---------------------------------------------------------------------------
+
+
+def _encode(obj: Any) -> Any:
+    """JSON fallback encoder for task specs (dataclasses, paths, tuples)."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {"__dataclass__": type(obj).__name__,
+                **dataclasses.asdict(obj)}
+    if isinstance(obj, Path):
+        return str(obj)
+    raise TypeError(f"cannot stably encode {type(obj).__name__}: {obj!r}")
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical JSON used for hashing: sorted keys, no whitespace,
+    ``repr``-exact floats."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      default=_encode)
+
+
+def stable_key(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``obj``.
+
+    Unlike :func:`hash`, this is stable across processes, interpreter
+    invocations and ``PYTHONHASHSEED`` values, so it is safe as an on-disk
+    cache key and as a seed-derivation primitive.
+    """
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def derive_seed(seed: int, *parts: Any) -> int:
+    """Derive an independent per-task seed from a base seed and a label.
+
+    ``derive_seed(11, "openloop", "TB-DOR", "uniform", 0.02)`` gives every
+    (design, pattern, rate) point its own reproducible RNG stream: stable
+    across runs and hosts, different for any change in ``seed`` or the
+    labelling parts.
+    """
+    digest = hashlib.sha256(
+        canonical_json([seed, *parts]).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit ``jobs``, else the ``REPRO_JOBS``
+    environment variable, else 1 (serial)."""
+    if jobs is None:
+        text = os.environ.get("REPRO_JOBS", "1") or "1"
+        try:
+            jobs = int(text)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer >= 1, got {text!r}") from None
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+# ---------------------------------------------------------------------------
+# Execution counting (test/instrumentation hook)
+# ---------------------------------------------------------------------------
+
+
+class ExecutionCounter:
+    """Counts simulations actually executed (cache hits excluded).
+
+    With ``jobs=1`` every task runs in-process, so the counter observes all
+    executions; with a process pool, child-process increments are invisible
+    to the parent — use ``jobs=1`` when asserting on it.
+    """
+
+    def __init__(self) -> None:
+        self.executed = 0
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.executed = 0
+
+
+#: Module-level counter incremented by every in-process task execution.
+EXECUTION_COUNTER = ExecutionCounter()
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache
+# ---------------------------------------------------------------------------
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-noc``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-noc"
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` files holding task result payloads.
+
+    Writes are atomic (temp file + :func:`os.replace`), so concurrent
+    workers and concurrent harness invocations can share one cache
+    directory.  A corrupt or unreadable entry is treated as a miss.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        """Cache file path for ``key``."""
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """Return the stored payload for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically store ``payload`` under ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return len(list(self.root.glob("*.json"))) if self.root.is_dir() \
+            else 0
+
+
+def as_cache(cache: Union[None, bool, str, Path, ResultCache]
+             ) -> Optional[ResultCache]:
+    """Coerce a user-facing ``cache`` argument: ``None``/``False`` disable
+    caching, ``True`` uses the default directory, a path opens that
+    directory, a :class:`ResultCache` passes through."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+# ---------------------------------------------------------------------------
+# Tasks
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One independent simulation: a closed-loop chip run or an open-loop
+    sweep point.
+
+    ``kind`` selects the worker path: ``"closed"`` (design × benchmark),
+    ``"perfect"`` (perfect-NoC × benchmark) or ``"openloop"`` (design ×
+    pattern × rate).  ``seed`` is the already-derived per-task seed.
+    ``pattern_factory`` must be picklable for process-pool execution and is
+    excluded from the cache key — ``pattern_name`` identifies the pattern
+    there, so callers must keep it unique per pattern configuration.
+    """
+
+    kind: str
+    label: str
+    seed: int
+    warmup: int
+    measure: int
+    design: Optional[Any] = None          # NetworkDesign
+    profile: Optional[Any] = None         # BenchmarkProfile
+    config: Optional[Any] = None          # ChipConfig (None = paper config)
+    pattern_factory: Optional[Callable] = None
+    pattern_name: Optional[str] = None
+    rate: Optional[float] = None
+
+    def cache_key(self) -> str:
+        """Stable cache key over every result-determining field."""
+        from .system.config import paper_config
+        config = self.config if self.config is not None else (
+            paper_config() if self.kind != "openloop" else None)
+        spec = {
+            "kind": self.kind,
+            "seed": self.seed,
+            "warmup": self.warmup,
+            "measure": self.measure,
+            "design": self.design,
+            "profile": self.profile,
+            "config": config,
+            "pattern": self.pattern_name,
+            "rate": self.rate,
+        }
+        return stable_key(spec)
+
+
+@dataclass(frozen=True)
+class TaskReport:
+    """Per-task progress record handed to the ``progress`` callback."""
+
+    index: int
+    total: int
+    label: str
+    seconds: float
+    cached: bool
+
+
+def _run_task(task: SimTask) -> str:
+    """Execute one task and return its result payload as a JSON string.
+
+    This is the single worker used by both the serial and the process-pool
+    executors; returning JSON (rather than pickled objects) exercises the
+    exact transport/caching representation on every path, which is what the
+    golden-determinism tests pin down.
+    """
+    EXECUTION_COUNTER.executed += 1
+    start = time.perf_counter()
+    if task.kind == "openloop":
+        from .core.builder import build, open_loop_variant
+        from .noc.openloop import OpenLoopRunner
+        system = build(open_loop_variant(task.design), seed=task.seed)
+        runner = OpenLoopRunner(system, system.compute_nodes,
+                                system.mc_nodes,
+                                task.pattern_factory(system.mc_nodes),
+                                task.rate, seed=task.seed)
+        result = runner.run(warmup=task.warmup, measure=task.measure)
+    elif task.kind == "perfect":
+        from .system.accelerator import perfect_chip
+        chip = perfect_chip(task.profile, config=task.config, seed=task.seed)
+        result = chip.run(warmup=task.warmup, measure=task.measure)
+    elif task.kind == "closed":
+        from .system.accelerator import build_chip
+        chip = build_chip(task.profile, design=task.design,
+                          config=task.config, seed=task.seed)
+        result = chip.run(warmup=task.warmup, measure=task.measure)
+    else:
+        raise ValueError(f"unknown task kind {task.kind!r}")
+    return json.dumps({
+        "kind": task.kind,
+        "label": task.label,
+        "elapsed": time.perf_counter() - start,
+        "result": result.to_json(),
+    })
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+
+def run_tasks(tasks: Sequence[SimTask], jobs: Optional[int] = None,
+              cache: Union[None, bool, str, Path, ResultCache] = None,
+              progress: Optional[Callable[[TaskReport], None]] = None
+              ) -> List[dict]:
+    """Execute ``tasks`` and return their result payloads, in task order.
+
+    ``jobs=1`` runs everything inline; ``jobs=N`` fans uncached tasks out
+    over a process pool.  Results are collected positionally, so the output
+    order — and therefore everything downstream — is independent of worker
+    scheduling.  ``progress`` (if given) is called once per task with a
+    :class:`TaskReport` carrying the task's wall-clock time and whether it
+    was served from the cache.
+    """
+    jobs = resolve_jobs(jobs)
+    store = as_cache(cache)
+    total = len(tasks)
+    payloads: List[Optional[dict]] = [None] * total
+    keys: List[Optional[str]] = [None] * total
+    pending: List[int] = []
+
+    for i, task in enumerate(tasks):
+        if store is not None:
+            keys[i] = task.cache_key()
+            hit = store.get(keys[i])
+            if hit is not None:
+                payloads[i] = hit
+                if progress is not None:
+                    progress(TaskReport(i, total, task.label,
+                                        hit.get("elapsed", 0.0), True))
+                continue
+        pending.append(i)
+
+    def _finish(i: int, raw: str) -> None:
+        payload = json.loads(raw)
+        payloads[i] = payload
+        if store is not None:
+            store.put(keys[i] or tasks[i].cache_key(), payload)
+        if progress is not None:
+            progress(TaskReport(i, total, tasks[i].label,
+                                payload.get("elapsed", 0.0), False))
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            for i in pending:
+                _finish(i, _run_task(tasks[i]))
+        else:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [(i, pool.submit(_run_task, tasks[i]))
+                           for i in pending]
+                for i, future in futures:
+                    _finish(i, future.result())
+    return payloads  # type: ignore[return-value]
+
+
+def log_progress(report: TaskReport) -> None:
+    """Stderr progress printer usable as a ``progress`` callback."""
+    import sys
+    origin = "cache" if report.cached else "run"
+    print(f"[{report.index + 1:3d}/{report.total}] {report.label:40s} "
+          f"{report.seconds:7.2f}s ({origin})", file=sys.stderr)

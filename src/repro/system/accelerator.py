@@ -55,6 +55,16 @@ class SimulationResult:
         from dataclasses import asdict
         return asdict(self)
 
+    def to_json(self) -> dict:
+        """JSON-compatible dict; floats survive exactly (``repr`` round
+        trip), which the parallel harness's transport and cache rely on."""
+        return self.as_dict()
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SimulationResult":
+        """Inverse of :meth:`to_json` with field-for-field equality."""
+        return cls(**data)
+
 
 @dataclass
 class _Snapshot:

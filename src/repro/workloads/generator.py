@@ -30,6 +30,7 @@ from typing import Deque, Dict, Optional, Tuple
 
 from ..gpu.instruction import ALU, SHARED, WarpInstruction, load, store
 from ..noc.topology import Coord
+from ..parallel import derive_seed
 from .profiles import BenchmarkProfile
 
 LINE_BYTES = 64
@@ -121,8 +122,12 @@ class SyntheticKernel:
             core_id = len(self._regions)
             p = self.profile
             num_lines = p.footprint_lines * p.warps_per_core
-            rng = random.Random(hash((self.seed, p.abbr, core_id, "region"))
-                                & 0x7FFFFFFF)
+            # derive_seed, not hash(): tuple hashes over strings depend on
+            # PYTHONHASHSEED, which would make runs differ across
+            # interpreter invocations and break the parallel harness's
+            # determinism contract (serial == process-pool == cached).
+            rng = random.Random(derive_seed(self.seed, p.abbr, core_id,
+                                            "region"))
             region = _CoreRegion(core_id * num_lines, num_lines,
                                  rng.randrange(num_lines))
             self._regions[core] = region
@@ -130,7 +135,7 @@ class SyntheticKernel:
 
     def _make_stream(self, core: Coord, warp_id: int) -> _WarpStream:
         p = self.profile
-        seed = hash((self.seed, p.abbr, core, warp_id)) & 0x7FFFFFFF
+        seed = derive_seed(self.seed, p.abbr, core.x, core.y, warp_id)
         return _WarpStream(self._region(core), warp_id, p.warps_per_core,
                            seed, self.reuse_window)
 

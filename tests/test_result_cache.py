@@ -1,0 +1,118 @@
+"""Correctness tests for the on-disk result cache.
+
+A cache key must cover every result-determining field — seed, warmup,
+measure, design, benchmark profile and every ChipConfig field — so a hit is
+only ever served for an exactly identical experiment specification.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.builder import BASELINE, CP_DOR
+from repro.experiments import compare_designs
+from repro.parallel import (EXECUTION_COUNTER, ResultCache, SimTask,
+                            as_cache, default_cache_dir)
+from repro.system.config import paper_config
+from repro.workloads.profiles import profile
+
+PROF = profile("AES")
+FAST = dict(warmup=20, measure=40)
+
+
+def executed_by(fn):
+    """Run ``fn`` and return how many simulations it actually executed."""
+    before = EXECUTION_COUNTER.executed
+    result = fn()
+    return EXECUTION_COUNTER.executed - before, result
+
+
+class TestCacheHits:
+    def test_second_run_executes_zero_simulations(self, tmp_path):
+        run = lambda: compare_designs([BASELINE, CP_DOR], profiles=[PROF],
+                                      cache=tmp_path, seed=11, **FAST)
+        cold, first = executed_by(run)
+        assert cold == 2
+        warm, second = executed_by(run)
+        assert warm == 0, "second identical run must be fully cached"
+        assert first.to_json() == second.to_json()
+
+    def test_cached_equals_uncached(self, tmp_path):
+        cached = compare_designs([BASELINE], profiles=[PROF],
+                                 cache=tmp_path, seed=11, **FAST)
+        recached = compare_designs([BASELINE], profiles=[PROF],
+                                   cache=tmp_path, seed=11, **FAST)
+        plain = compare_designs([BASELINE], profiles=[PROF], seed=11, **FAST)
+        assert cached.to_json() == recached.to_json() == plain.to_json()
+
+
+class TestCacheMisses:
+    @pytest.fixture()
+    def warm_cache(self, tmp_path):
+        compare_designs([BASELINE], profiles=[PROF], cache=tmp_path,
+                        seed=11, **FAST)
+        return tmp_path
+
+    def run_missing(self, cache, **overrides):
+        kwargs = dict(designs=[BASELINE], profiles=[PROF], cache=cache,
+                      seed=11, **FAST)
+        kwargs.update(overrides)
+        designs = kwargs.pop("designs")
+        executed, _ = executed_by(lambda: compare_designs(designs, **kwargs))
+        return executed
+
+    def test_seed_misses(self, warm_cache):
+        assert self.run_missing(warm_cache, seed=12) == 1
+
+    def test_warmup_misses(self, warm_cache):
+        assert self.run_missing(warm_cache, warmup=21) == 1
+
+    def test_measure_misses(self, warm_cache):
+        assert self.run_missing(warm_cache, measure=41) == 1
+
+    def test_design_misses(self, warm_cache):
+        assert self.run_missing(warm_cache, designs=[CP_DOR]) == 1
+
+    def test_design_field_misses(self, warm_cache):
+        tweaked = replace(BASELINE, name="TB-DOR", vc_buffer_depth=4)
+        assert self.run_missing(warm_cache, designs=[tweaked]) == 1
+
+    def test_chip_config_field_misses(self, warm_cache):
+        config = paper_config()
+        tweaked = replace(config,
+                          clocks=replace(config.clocks, core_mhz=1300.0))
+        assert self.run_missing(warm_cache, config=tweaked) == 1
+
+    def test_explicit_paper_config_hits(self, warm_cache):
+        """config=None and config=paper_config() are the same experiment."""
+        assert self.run_missing(warm_cache, config=paper_config()) == 0
+
+
+class TestResultCacheStore:
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultCache(tmp_path)
+        key = SimTask(kind="closed", label="x", seed=1, warmup=20,
+                      measure=40, design=BASELINE,
+                      profile=PROF).cache_key()
+        store.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(key).write_text("{not json")
+        assert store.get(key) is None
+
+    def test_put_get_clear(self, tmp_path):
+        store = ResultCache(tmp_path)
+        store.put("abc", {"result": {"x": 1}})
+        assert store.get("abc") == {"result": {"x": 1}}
+        assert len(store) == 1
+        assert store.clear() == 1
+        assert store.get("abc") is None
+        assert len(store) == 0
+
+    def test_as_cache_coercions(self, tmp_path, monkeypatch):
+        assert as_cache(None) is None
+        assert as_cache(False) is None
+        assert as_cache(tmp_path).root == tmp_path
+        store = ResultCache(tmp_path)
+        assert as_cache(store) is store
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert as_cache(True).root == tmp_path / "env"
+        assert default_cache_dir() == tmp_path / "env"

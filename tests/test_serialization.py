@@ -1,0 +1,104 @@
+"""JSON round-trip tests for the result dataclasses.
+
+The parallel harness transports every result as JSON (worker -> parent and
+cache file -> later run), so ``to_json``/``from_json`` must preserve every
+field exactly — floats included, which works because Python's JSON encoder
+emits ``repr``-exact floats and ``float(repr(x)) == x``.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.builder import BASELINE, CP_DOR
+from repro.experiments import (DesignComparison, LoadLatencyCurve,
+                               compare_designs, load_latency_curves)
+from repro.noc.openloop import LoadLatencyPoint
+from repro.noc.traffic import UniformManyToFew
+from repro.system.accelerator import SimulationResult
+from repro.workloads.profiles import profile
+
+#: Awkward floats: repr-long fractions, subnormals, negative zero, inf.
+NASTY = [1 / 3, 0.1 + 0.2, 5e-324, -0.0, 1e308, float("inf")]
+
+
+def make_result(ipc: float = 1 / 3) -> SimulationResult:
+    return SimulationResult(
+        benchmark="RD", network="TB-DOR", icnt_cycles=800, core_cycles=1722,
+        retired_scalar=12345, ipc=ipc,
+        accepted_bytes_per_cycle_per_node=0.1 + 0.2,
+        mc_injection_rate_flits=2 / 7, mc_injection_rate_bytes=16 / 7,
+        mc_stall_fraction=1 / 9, mean_network_latency=28.517341040462426,
+        mean_packet_latency=float("inf"), dram_efficiency=0.999999999999999,
+        dram_row_hit_rate=5e-324, l1_hit_rate=-0.0, l2_hit_rate=1e-17)
+
+
+def through_disk(payload: dict) -> dict:
+    """Serialise exactly as the cache does (text file round trip)."""
+    return json.loads(json.dumps(payload))
+
+
+class TestSimulationResult:
+    def test_round_trip_exact(self):
+        result = make_result()
+        clone = SimulationResult.from_json(through_disk(result.to_json()))
+        for f in dataclasses.fields(result):
+            assert repr(getattr(clone, f.name)) == \
+                repr(getattr(result, f.name)), f.name
+        assert clone == result
+
+    @pytest.mark.parametrize("value", NASTY)
+    def test_nasty_floats(self, value):
+        result = make_result(ipc=value)
+        clone = SimulationResult.from_json(through_disk(result.to_json()))
+        assert repr(clone.ipc) == repr(value)
+
+    def test_real_simulation_round_trip(self):
+        from repro.system.accelerator import build_chip
+        chip = build_chip(profile("AES"), design=BASELINE, seed=5)
+        result = chip.run(warmup=50, measure=100)
+        assert SimulationResult.from_json(
+            through_disk(result.to_json())) == result
+
+
+class TestLoadLatencyPoint:
+    def test_round_trip_exact(self):
+        point = LoadLatencyPoint(
+            offered_rate=0.02, mean_latency=float("inf"),
+            mean_request_latency=28.043956043956044,
+            mean_reply_latency=float("inf"),
+            accepted_flits_per_cycle=1 / 3, packets_measured=0,
+            saturated=True)
+        clone = LoadLatencyPoint.from_json(through_disk(point.to_json()))
+        assert clone == point
+        assert clone.mean_latency == float("inf")
+
+    def test_real_sweep_round_trip(self):
+        (curve,) = load_latency_curves(
+            [BASELINE], rates=[0.005], pattern_factory=UniformManyToFew,
+            warmup=100, measure=200)
+        clone = LoadLatencyCurve.from_json(through_disk(curve.to_json()))
+        assert clone == curve
+
+
+class TestDesignComparison:
+    def test_round_trip_exact(self):
+        comparison = DesignComparison(
+            results={"TB-DOR": {"RD": make_result(), "AES": make_result(2.5)},
+                     "CP-DOR": {"RD": make_result(1e-17),
+                                "AES": make_result(float("inf"))}},
+            baseline="TB-DOR")
+        clone = DesignComparison.from_json(
+            through_disk(comparison.to_json()))
+        assert clone == comparison
+        assert clone.baseline == "TB-DOR"
+
+    def test_real_comparison_round_trip(self):
+        comparison = compare_designs(
+            [BASELINE, CP_DOR], profiles=[profile("AES")], warmup=50,
+            measure=100)
+        clone = DesignComparison.from_json(
+            through_disk(comparison.to_json()))
+        assert clone == comparison
+        assert clone.summary() == comparison.summary()
