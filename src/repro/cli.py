@@ -20,7 +20,7 @@ import sys
 from typing import List, Optional
 
 from .area.chip import design_noc_area, throughput_effectiveness
-from .core.builder import NAMED_DESIGNS, design_by_name
+from .core.builder import NAMED_DESIGNS, checked_variant, design_by_name
 from .experiments import compare_designs, load_latency_curves
 from .noc.traffic import HotspotManyToFew, UniformManyToFew
 from .parallel import log_progress
@@ -63,15 +63,37 @@ def _print_result(result) -> None:
           f"{result.l2_hit_rate:.1%}")
 
 
+def _apply_checks(design, args):
+    """Fold the --check / --watchdog-cycles flags into a design."""
+    if not (args.check or args.watchdog_cycles):
+        return design
+    return checked_variant(
+        design,
+        check_interval=args.check_interval if args.check else 0,
+        watchdog_cycles=args.watchdog_cycles)
+
+
 def _cmd_run(args) -> int:
     prof = profile(args.benchmark.upper())
     if args.design.lower() == "perfect":
+        if args.check or args.watchdog_cycles:
+            print("note: --check/--watchdog-cycles ignored for the "
+                  "perfect network (no flow control to audit)",
+                  file=sys.stderr)
         chip = perfect_chip(prof, seed=args.seed)
     else:
-        chip = build_chip(prof, design=design_by_name(args.design),
-                          seed=args.seed)
+        design = _apply_checks(design_by_name(args.design), args)
+        chip = build_chip(prof, design=design, seed=args.seed)
     result = chip.run(warmup=args.warmup, measure=args.measure)
     _print_result(result)
+    if args.check and args.design.lower() != "perfect":
+        problems = chip.audit()
+        if problems:
+            print("invariant audit FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print("invariant audit       clean (end state)")
     return 0
 
 
@@ -79,7 +101,8 @@ def _cmd_compare(args) -> int:
     prof = profile(args.benchmark.upper())
     names = [n.strip() for n in args.designs.split(",")]
     comparison = compare_designs(
-        [design_by_name(n) for n in names], profiles=[prof],
+        [_apply_checks(design_by_name(n), args) for n in names],
+        profiles=[prof],
         warmup=args.warmup, measure=args.measure, seed=args.seed,
         jobs=args.jobs, cache=args.cache,
         progress=log_progress if args.progress else None)
@@ -107,7 +130,7 @@ def _cmd_area(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    design = design_by_name(args.design)
+    design = _apply_checks(design_by_name(args.design), args)
     rates = [float(r) for r in args.rates.split(",")]
     if args.hotspot:
         pattern_name = "hotspot"
@@ -142,6 +165,19 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--warmup", type=int, default=500)
         p.add_argument("--measure", type=int, default=1500)
         p.add_argument("--seed", type=int, default=11)
+        check_args(p)
+
+    def check_args(p):
+        p.add_argument("--check", action="store_true",
+                       help="audit flit/credit/VC invariants while "
+                            "simulating (read-only; results unchanged)")
+        p.add_argument("--check-interval", type=int, default=64,
+                       metavar="N", help="cycles between audits "
+                       "(with --check; default 64)")
+        p.add_argument("--watchdog-cycles", type=int, default=0,
+                       metavar="K",
+                       help="raise with a full state dump if no flit "
+                            "moves for K non-idle cycles (0 = off)")
 
     run = sub.add_parser("run", help="closed-loop run of one benchmark")
     run.add_argument("--benchmark", required=True)
@@ -180,6 +216,7 @@ def make_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--warmup", type=int, default=800)
     sweep.add_argument("--measure", type=int, default=2500)
     sweep.add_argument("--seed", type=int, default=7)
+    check_args(sweep)
     parallel_args(sweep)
 
     return parser

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..noc.invariants import (DeadlockError, audit_system,
+                              format_system_state)
 from ..noc.network import MeshNetwork, NocParams
 from ..noc.packet import Packet, TrafficClass
 from ..noc.router import RouterSpec
@@ -56,6 +58,12 @@ class NetworkDesign:
     vc_buffer_depth: int = 8
     source_queue_flits: Optional[int] = 16
     mc_coords: Optional[Sequence[Coord]] = None  # override the placement
+    #: Self-check knobs (read-only audits; results are bit-identical with
+    #: them on or off).  ``check_interval`` > 0 audits flit/credit/VC
+    #: invariants every that many cycles; ``watchdog_cycles`` > 0 arms the
+    #: deadlock watchdog.  See ``repro.noc.invariants``.
+    check_interval: int = 0
+    watchdog_cycles: int = 0
 
     def validate(self) -> None:
         if self.routing == "cr":
@@ -129,11 +137,25 @@ class NetworkSystem:
             return self.networks[0].stats
         return merge_stats([n.stats for n in self.networks])
 
+    def enable_checks(self, check_interval: int = 64,
+                      watchdog_cycles: int = 0) -> None:
+        """Attach the invariant checker to every physical slice."""
+        for network in self.networks:
+            network.enable_checks(check_interval, watchdog_cycles)
+
+    def audit(self) -> List[str]:
+        """Run the full invariant audit on every slice now; returns the
+        list of violations (empty = clean)."""
+        return audit_system(self)
+
     def run_until_idle(self, max_cycles: int = 1_000_000) -> int:
         start = self.cycle
         while not self.idle:
             if self.cycle - start > max_cycles:
-                raise RuntimeError("network failed to drain (deadlock?)")
+                raise DeadlockError(
+                    f"network system {self.design.name!r} failed to drain "
+                    f"within {max_cycles} cycles (deadlock?)\n"
+                    + format_system_state(self))
             self.step()
         return self.cycle - start
 
@@ -202,7 +224,9 @@ def build(design: NetworkDesign, mesh: Optional[Mesh] = None,
             params = NocParams(channel_width=width,
                                vc_buffer_depth=design.vc_buffer_depth,
                                channel_latency=design.channel_latency,
-                               source_queue_flits=design.source_queue_flits)
+                               source_queue_flits=design.source_queue_flits,
+                               check_interval=design.check_interval,
+                               watchdog_cycles=design.watchdog_cycles)
             if design.slice_mode == "dedicated":
                 tclass = (TrafficClass.REQUEST, TrafficClass.REPLY)[i]
                 vc_config = dedicated_vc_config(
@@ -221,7 +245,9 @@ def build(design: NetworkDesign, mesh: Optional[Mesh] = None,
         params = NocParams(channel_width=design.channel_width,
                            vc_buffer_depth=design.vc_buffer_depth,
                            channel_latency=design.channel_latency,
-                           source_queue_flits=design.source_queue_flits)
+                           source_queue_flits=design.source_queue_flits,
+                           check_interval=design.check_interval,
+                           watchdog_cycles=design.watchdog_cycles)
         vc_config = shared_vc_config(vcs_per_class=design.vcs_per_class,
                                      route_split=route_split)
         networks.append(MeshNetwork(mesh, specs, params, vc_config,
@@ -292,6 +318,15 @@ def open_loop_variant(design: NetworkDesign) -> NetworkDesign:
     """The same design with unbounded source queues — the open-loop
     convention where source queueing time counts toward packet latency."""
     return replace(design, source_queue_flits=None)
+
+
+def checked_variant(design: NetworkDesign, check_interval: int = 64,
+                    watchdog_cycles: int = 0) -> NetworkDesign:
+    """The same design with runtime invariant audits (and optionally the
+    deadlock watchdog) enabled.  Audits are read-only: results are
+    bit-identical to the unchecked design."""
+    return replace(design, check_interval=check_interval,
+                   watchdog_cycles=watchdog_cycles)
 
 
 def design_by_name(name: str) -> NetworkDesign:

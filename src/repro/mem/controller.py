@@ -191,6 +191,16 @@ class MemoryController:
                 "request payload must expose .local_addr (channel-local)")
         return addr
 
+    # -- read-only introspection (invariant checker) -------------------------
+
+    def pending_request_packets(self) -> List[Packet]:
+        """Request packets sitting in the L2-lookup input pipeline."""
+        return [packet for _ready, packet in self._input]
+
+    def queued_replies(self) -> List[Packet]:
+        """Reply packets waiting for the reply network to accept them."""
+        return list(self._replies)
+
     # -- stats ---------------------------------------------------------------
 
     def stall_fraction(self) -> float:

@@ -96,6 +96,11 @@ class GddrChannel:
     def busy(self) -> bool:
         return bool(self._queue or self._in_flight)
 
+    def outstanding_requests(self) -> List[DramRequest]:
+        """Every request not yet completed (queued or issued) — read-only
+        introspection for the system invariant checker."""
+        return list(self._queue) + list(self._in_flight)
+
     def enqueue(self, request: DramRequest, now: int) -> None:
         if not self.can_accept():
             raise RuntimeError("DRAM request queue full; check can_accept")

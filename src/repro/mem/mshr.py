@@ -80,3 +80,9 @@ class MshrFile:
 
     def outstanding_lines(self) -> List[int]:
         return list(self._entries)
+
+    def issued_lines(self) -> List[int]:
+        """Lines with a memory request actually in flight (the invariant
+        checker matches these one-to-one against in-flight packets)."""
+        return [line for line, entry in self._entries.items()
+                if entry.issued]

@@ -10,6 +10,11 @@ the limit studies.
 from .arbiter import RoundRobinArbiter, SeparableAllocator
 from .channel import Channel
 from .ideal import BandwidthLimitedNetwork, PerfectNetwork
+from .invariants import (DeadlockError, InvariantChecker,
+                         InvariantViolation, audit_accelerator,
+                         audit_network, audit_system, check_accelerator,
+                         check_network, format_network_state,
+                         format_system_state)
 from .network import MeshNetwork, NocParams
 from .openloop import LoadLatencyPoint, OpenLoopRunner, sweep_load
 from .packet import (READ_REPLY_BYTES, READ_REQUEST_BYTES,
@@ -27,15 +32,19 @@ from .vc import VcConfig, dedicated_vc_config, shared_vc_config
 
 __all__ = [
     "BandwidthLimitedNetwork", "BernoulliInjector", "Channel", "Coord",
-    "DestinationPattern", "Direction", "DorXY", "DorYX", "Flit",
-    "HotspotManyToFew", "LoadLatencyPoint", "Mesh", "MeshNetwork",
+    "DeadlockError", "DestinationPattern", "Direction", "DorXY", "DorYX",
+    "Flit", "HotspotManyToFew", "InvariantChecker", "InvariantViolation",
+    "LoadLatencyPoint", "Mesh", "MeshNetwork",
     "NetworkStats", "NocParams", "OpenLoopRunner", "Packet",
     "PerfectNetwork", "READ_REPLY_BYTES", "READ_REQUEST_BYTES",
     "RouteGroup", "Router", "RouterSpec", "RoundRobinArbiter",
     "RoutingAlgorithm", "RoutingViolation", "SeparableAllocator",
     "TrafficClass", "UniformManyToFew", "UniformRandom", "VcConfig",
-    "WRITE_REQUEST_BYTES", "dedicated_vc_config", "ejection_port",
-    "full_connectivity", "half_connectivity", "injection_port",
-    "is_terminal_port", "merge_stats", "minimal_hops", "read_reply",
-    "read_request", "shared_vc_config", "sweep_load", "write_request",
+    "WRITE_REQUEST_BYTES", "audit_accelerator", "audit_network",
+    "audit_system", "check_accelerator", "check_network",
+    "dedicated_vc_config", "ejection_port", "format_network_state",
+    "format_system_state", "full_connectivity", "half_connectivity",
+    "injection_port", "is_terminal_port", "merge_stats", "minimal_hops",
+    "read_reply", "read_request", "shared_vc_config", "sweep_load",
+    "write_request",
 ]

@@ -61,6 +61,25 @@ class Channel:
     def busy(self) -> bool:
         return bool(self._flits or self._credits)
 
+    # -- read-only introspection (invariant checker / state dumps) ----------
+
+    def flits_in_flight(self, vc: Optional[int] = None) -> int:
+        """Flits currently travelling this channel (optionally one VC's)."""
+        if vc is None:
+            return len(self._flits)
+        return sum(1 for _, _, fvc in self._flits if fvc == vc)
+
+    def credits_in_flight(self, vc: Optional[int] = None) -> int:
+        """Credits currently travelling upstream (optionally one VC's)."""
+        if vc is None:
+            return len(self._credits)
+        return sum(1 for _, cvc in self._credits if cvc == vc)
+
+    def peek_flits(self):
+        """Yield (flit, vc) for every flit in flight, delivery order."""
+        for _, flit, vc in self._flits:
+            yield flit, vc
+
     def deliver(self, cycle: int) -> int:
         """Deliver all flits and credits whose delay has elapsed; returns
         the number of flits (not credits) handed to the downstream router,

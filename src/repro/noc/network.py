@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from .channel import Channel
+from .invariants import DeadlockError, InvariantChecker, format_network_state
 from .packet import Flit, Packet
 from .router import Router, RouterSpec
 from .routing import RoutingAlgorithm
@@ -41,6 +42,12 @@ class NocParams:
     #: packet latency).  Closed-loop runs use a small bound so that a backed
     #: up reply network stalls the memory controller.
     source_queue_flits: Optional[int] = 16
+    #: Run the full invariant audit every this many cycles (0 = off).
+    #: Audits are read-only, so results are bit-identical with or without.
+    check_interval: int = 0
+    #: Raise :class:`~repro.noc.invariants.DeadlockError` with a state dump
+    #: if no flit moves for this many consecutive non-idle cycles (0 = off).
+    watchdog_cycles: int = 0
 
 
 class _SourcePort:
@@ -123,11 +130,25 @@ class MeshNetwork:
             self._source_occupancy[coord] = 0
             self._source_rr[coord] = 0
 
+        #: Opt-in invariant checker; ``None`` keeps the hot path at a
+        #: single attribute test per cycle.
+        self.checker: Optional[InvariantChecker] = None
+        if params.check_interval or params.watchdog_cycles:
+            self.enable_checks(params.check_interval,
+                               params.watchdog_cycles)
+
     # -- public interface ---------------------------------------------------
 
     def set_ejection_handler(self, coord: Coord,
                              handler: Callable[[Packet, int], None]) -> None:
         self._handlers[coord] = handler
+
+    def enable_checks(self, check_interval: int = 64,
+                      watchdog_cycles: int = 0) -> InvariantChecker:
+        """Attach (or retune) the runtime invariant checker."""
+        self.checker = InvariantChecker(self, check_interval,
+                                        watchdog_cycles)
+        return self.checker
 
     def carries(self, packet: Packet) -> bool:
         return self.vc_config.carries(packet.traffic_class)
@@ -149,6 +170,7 @@ class MeshNetwork:
         ports[rr].fifo.append(packet)
         self._source_occupancy[packet.src] = occupancy + num_flits
         self._source_flits += num_flits
+        self.stats.record_offer(packet, num_flits)
         return True
 
     def step(self, cycle: Optional[int] = None) -> None:
@@ -188,6 +210,9 @@ class MeshNetwork:
                     router = self.routers[coord]
                     for port in ports:
                         self._drain_source(coord, router, port, now)
+        checker = self.checker
+        if checker is not None:
+            checker.on_cycle(now)
 
     def channel_utilization(self) -> Dict[Tuple[Coord, Coord], float]:
         """Flits carried per cycle for every directed mesh link — the
@@ -219,7 +244,10 @@ class MeshNetwork:
         start = self.cycle
         while not self.idle:
             if self.cycle - start > max_cycles:
-                raise RuntimeError("network failed to drain (deadlock?)")
+                raise DeadlockError(
+                    f"network {self.name!r} failed to drain within "
+                    f"{max_cycles} cycles (deadlock?)\n"
+                    + format_network_state(self))
             self.step()
         return self.cycle - start
 

@@ -12,6 +12,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from .invariants import InvariantViolation, audit_system, format_system_state
 from .packet import Packet, TrafficClass, read_reply, read_request
 from .topology import Coord
 from .traffic import DestinationPattern
@@ -72,7 +73,8 @@ class OpenLoopRunner:
                            payload=packet.payload)
         accepted = self.network.try_inject(reply, cycle)
         if not accepted:
-            raise RuntimeError("open-loop source queues must be unbounded")
+            raise RuntimeError("open-loop source queues must be unbounded\n"
+                               + format_system_state(self.network))
 
     def _on_reply(self, packet: Packet, cycle: int) -> None:
         self._record(packet)
@@ -95,7 +97,24 @@ class OpenLoopRunner:
             self._cycle(tag="measured")
         for _ in range(drain):
             self.network.step()
+        self._final_audit()
         return self._summarize(measure)
+
+    def _final_audit(self) -> None:
+        """If the design enabled self-checks, audit the end state once more
+        — per-cycle checks run inside ``network.step`` already, but this
+        catches a violation introduced after the last periodic audit."""
+        networks = getattr(self.network, "networks", [self.network])
+        if not any(getattr(net, "checker", None) is not None
+                   and net.checker.check_interval
+                   for net in networks):
+            return
+        problems = audit_system(self.network)
+        if problems:
+            raise InvariantViolation(
+                "open-loop end-state audit failed:\n  - "
+                + "\n  - ".join(problems) + "\n"
+                + format_system_state(self.network))
 
     def _cycle(self, tag: Optional[str]) -> None:
         net = self.network

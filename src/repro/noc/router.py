@@ -67,7 +67,7 @@ class _OutputPort:
     """Credit and ownership state for one output port."""
 
     __slots__ = ("port_id", "credits", "owner", "channel", "sink",
-                 "vc_pointer")
+                 "vc_pointers")
 
     def __init__(self, port_id: PortId, num_vcs: int, buffer_depth: int,
                  channel=None, sink=None) -> None:
@@ -80,15 +80,20 @@ class _OutputPort:
         else:
             self.credits = [buffer_depth] * num_vcs
         self.owner: List[Optional[Tuple[PortId, int]]] = [None] * num_vcs
-        self.vc_pointer = 0
+        #: One rotation pointer per distinct ``allowed`` set.  A single
+        #: shared pointer reused modulo ``len(allowed)`` across different
+        #: sets (request vs reply classes, XY vs YX route splits) biases
+        #: the rotation and couples the classes to each other.
+        self.vc_pointers: Dict[Tuple[int, ...], int] = {}
 
     def free_vc(self, allowed: Tuple[int, ...]) -> Optional[int]:
         """Pick a free VC among ``allowed``, rotating for fairness."""
         n = len(allowed)
+        pointer = self.vc_pointers.get(allowed, 0)
         for offset in range(n):
-            vc = allowed[(self.vc_pointer + offset) % n]
+            vc = allowed[(pointer + offset) % n]
             if self.owner[vc] is None:
-                self.vc_pointer = (self.vc_pointer + offset + 1) % n
+                self.vc_pointers[allowed] = (pointer + offset + 1) % n
                 return vc
         return None
 
@@ -118,8 +123,10 @@ class Router:
     """One mesh router instance."""
 
     def __init__(self, spec: RouterSpec, vc_config: VcConfig,
-                 buffer_depth: int, routing: RoutingAlgorithm,
-                 credit_delay: int = 1) -> None:
+                 buffer_depth: int, routing: RoutingAlgorithm) -> None:
+        # Note: the credit-return delay is owned by the *channel*
+        # (``NocParams.credit_delay`` -> ``Channel``); the router has no
+        # say in it, so it deliberately takes no such parameter.
         self.coord = spec.coord
         self.spec = spec
         self.vc_config = vc_config
@@ -127,7 +134,6 @@ class Router:
         self.buffer_depth = buffer_depth
         self.routing = routing
         self.pipeline_latency = spec.pipeline_latency
-        self.credit_delay = credit_delay
         self.connectivity: Callable[[PortId, PortId], bool] = (
             half_connectivity if spec.half else full_connectivity)
 

@@ -28,6 +28,13 @@ class NetworkStats:
 
     def __init__(self) -> None:
         self.cycles = 0
+        #: Accepted by ``try_inject`` — includes packets still parked in a
+        #: source FIFO, which ``*_injected`` (recorded at source-drain
+        #: time) does not see.  The gap is the backpressure the Figure 11
+        #: MC-stall analysis needs to distinguish queued from in-network
+        #: traffic.
+        self.packets_offered = 0
+        self.flits_offered = 0
         self.flits_injected = 0
         self.flits_ejected = 0
         self.packets_injected = 0
@@ -40,6 +47,12 @@ class NetworkStats:
         self.node_ejected_flits: Dict[Coord, int] = {}
 
     # -- recording ----------------------------------------------------------
+
+    def record_offer(self, packet: Packet, num_flits: int) -> None:
+        """A packet was accepted into a source queue (may not yet have
+        entered the network)."""
+        self.packets_offered += 1
+        self.flits_offered += num_flits
 
     def record_injection(self, packet: Packet, num_flits: int) -> None:
         self.packets_injected += 1
@@ -63,6 +76,22 @@ class NetworkStats:
     @property
     def packets_in_flight(self) -> int:
         return self.packets_injected - self.packets_ejected
+
+    @property
+    def packets_source_queued(self) -> int:
+        """Packets accepted but still parked in a source FIFO."""
+        return self.packets_offered - self.packets_injected
+
+    @property
+    def flits_source_queued(self) -> int:
+        """Flits of packets accepted but not yet draining into a router."""
+        return self.flits_offered - self.flits_injected
+
+    @property
+    def packets_outstanding(self) -> int:
+        """Everything accepted and not yet delivered: source-queued plus
+        in-network."""
+        return self.packets_offered - self.packets_ejected
 
     def mean_packet_latency(self) -> float:
         packets = sum(c.packets for c in self.per_class.values())
@@ -99,6 +128,8 @@ def merge_stats(stats_list: List[NetworkStats]) -> NetworkStats:
     merged = NetworkStats()
     for stats in stats_list:
         merged.cycles = max(merged.cycles, stats.cycles)
+        merged.packets_offered += stats.packets_offered
+        merged.flits_offered += stats.flits_offered
         merged.flits_injected += stats.flits_injected
         merged.flits_ejected += stats.flits_ejected
         merged.packets_injected += stats.packets_injected

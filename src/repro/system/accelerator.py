@@ -16,6 +16,8 @@ from ..core.builder import NetworkDesign, NetworkSystem, build
 from ..gpu.core import SimtCore
 from ..mem.controller import AddressMap, MemoryController
 from ..noc.ideal import BandwidthLimitedNetwork, PerfectNetwork
+from ..noc.invariants import (audit_accelerator, check_accelerator,
+                              format_system_state)
 from ..noc.topology import Coord, Mesh
 from ..core.placement import compute_nodes, top_bottom_placement
 from ..workloads.generator import SyntheticKernel
@@ -127,6 +129,10 @@ class Accelerator:
         self.icnt_cycle = 0
         self.core_cycle = 0
         self.dram_cycle = 0
+        #: System-level audit interval (0 = off); per-network invariant
+        #: checkers are configured on the design and run inside
+        #: ``network.step`` independently of this.
+        self._check_interval = 0
 
     # -- plumbing -------------------------------------------------------------
 
@@ -137,6 +143,19 @@ class Accelerator:
 
     def _inject(self, packet, cycle: int) -> bool:
         return self.network.try_inject(packet, cycle)
+
+    def enable_checks(self, check_interval: int = 64) -> None:
+        """Audit system-level request conservation (requests issued ==
+        in MSHRs + in NoC + at MCs + replied) every ``check_interval``
+        interconnect cycles.  Read-only; results are unchanged."""
+        if check_interval < 0:
+            raise ValueError("check_interval must be non-negative")
+        self._check_interval = check_interval
+
+    def audit(self):
+        """Run the system-level conservation audit now; returns the list
+        of violations (empty = clean)."""
+        return audit_accelerator(self)
 
     # -- simulation loop --------------------------------------------------------
 
@@ -167,6 +186,8 @@ class Accelerator:
             mclk = self.dram_cycle
             for mc in self.mcs:
                 mc.dram_step(mclk)
+        if self._check_interval and now % self._check_interval == 0:
+            check_accelerator(self)
 
     def run(self, warmup: int = 1_000, measure: int = 3_000,
             label: Optional[str] = None) -> SimulationResult:
@@ -186,8 +207,9 @@ class Accelerator:
         start = self.icnt_cycle
         while not self.finished:
             if self.icnt_cycle - start > max_cycles:
-                raise RuntimeError("simulation did not finish; "
-                                   "did you use an infinite kernel?")
+                raise RuntimeError(
+                    "simulation did not finish; did you use an infinite "
+                    "kernel?\n" + format_system_state(self.network))
             self.step()
         return self._result(before, self._snapshot(), label)
 
@@ -327,8 +349,14 @@ def build_chip(profile: BenchmarkProfile,
     if design is not None:
         system = build(design, Mesh(config.mesh_cols, config.mesh_rows),
                        num_mcs=config.num_memory_channels, seed=seed)
-        return Accelerator(system, system.mc_nodes, system.compute_nodes,
-                           kernel, config)
+        accel = Accelerator(system, system.mc_nodes, system.compute_nodes,
+                            kernel, config)
+        if design.check_interval:
+            # The per-network checkers are already armed by build(); add
+            # the system-level request-conservation audit at the same
+            # cadence.
+            accel.enable_checks(design.check_interval)
+        return accel
     mesh = Mesh(config.mesh_cols, config.mesh_rows)
     mcs = top_bottom_placement(mesh, config.num_memory_channels)
     return Accelerator(network, mcs, compute_nodes(mesh, mcs), kernel,

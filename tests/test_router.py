@@ -178,3 +178,60 @@ class TestMultiPortEjection:
             counts[router] = first
         assert counts[router1] == 1
         assert counts[router2] == 2
+
+
+class TestFreeVcFairness:
+    """Regression tests for the shared-rotation-pointer bug: one pointer
+    reused modulo different ``allowed`` tuples biased the pick and could
+    starve a VC whenever two classes allocated through the same port."""
+
+    @staticmethod
+    def out_port(num_vcs=4):
+        from repro.noc.router import _OutputPort
+        return _OutputPort(Direction.EAST, num_vcs, buffer_depth=8,
+                           channel=Channel())
+
+    def test_rotates_within_one_class(self):
+        port = self.out_port()
+        picks = [port.free_vc((0, 1)) for _ in range(4)]
+        assert picks == [0, 1, 0, 1]
+
+    def test_classes_rotate_independently(self):
+        port = self.out_port()
+        picks = [port.free_vc(allowed)
+                 for allowed in ((0, 1), (2, 3), (0, 1), (2, 3))]
+        # The buggy shared pointer produced [0, 3, 0, 3], starving VCs
+        # 1 and 2 whenever the classes interleaved like this.
+        assert picks == [0, 2, 1, 3]
+
+    def test_skips_busy_vcs(self):
+        port = self.out_port()
+        port.owner[0] = (Direction.WEST, 0)
+        assert port.free_vc((0, 1)) == 1
+        assert port.free_vc((0, 1)) == 1     # 0 still busy, keep serving 1
+        port.owner[1] = (Direction.WEST, 1)
+        assert port.free_vc((0, 1)) is None
+
+    def test_both_vcs_of_each_class_used_under_contention(self):
+        """Drive requests and replies down one path; every VC of both
+        classes must see traffic (the starved-VC symptom of the old bug)."""
+        from repro.noc.network import MeshNetwork, NocParams
+
+        mesh = Mesh(4, 1)
+        params = NocParams(channel_width=16, source_queue_flits=None)
+        specs = {c: RouterSpec(c, pipeline_latency=1)
+                 for c in mesh.coords()}
+        net = MeshNetwork(mesh, specs, params, shared_vc_config(2),
+                          DorXY(mesh), seed=1)
+        dest = Coord(3, 0)
+        net.set_ejection_handler(dest, lambda p, c: None)
+        seen = set()
+        watched = net.routers[Coord(2, 0)].in_ports[Direction.WEST]
+        for i in range(60):
+            net.try_inject(read_request(Coord(0, 0), dest), net.cycle)
+            net.try_inject(read_reply(Coord(0, 0), dest), net.cycle)
+            net.step()
+            seen.update(vc for vc, state in enumerate(watched)
+                        if state.buffer)
+        net.run_until_idle()
+        assert seen == {0, 1, 2, 3}

@@ -57,6 +57,33 @@ class TestNetworkStats:
         assert s.accepted_flit_rate() == 0.0
         assert s.mean_packet_latency() == 0.0
 
+    def test_offer_recording(self):
+        s = NetworkStats()
+        s.record_offer(read_reply(SRC, DST), 4)
+        assert s.packets_offered == 1
+        assert s.flits_offered == 4
+
+    def test_source_queued_is_offered_minus_injected(self):
+        """A packet accepted but parked in a source FIFO is visible as
+        offered-but-not-injected — the skew the old stats hid."""
+        s = NetworkStats()
+        s.record_offer(read_reply(SRC, DST), 4)
+        s.record_offer(read_request(SRC, DST), 1)
+        assert s.packets_source_queued == 2
+        assert s.flits_source_queued == 5
+        s.record_injection(read_reply(SRC, DST), 4)
+        assert s.packets_source_queued == 1
+        assert s.flits_source_queued == 1
+        assert s.packets_outstanding == 2
+
+    def test_outstanding_counts_down_on_ejection(self):
+        s = NetworkStats()
+        s.record_offer(read_request(SRC, DST), 1)
+        s.record_injection(read_request(SRC, DST), 1)
+        s.record_ejection(ejected_packet(), 1)
+        assert s.packets_outstanding == 0
+        assert s.packets_source_queued == 0
+
 
 class TestMerge:
     def test_merge_sums_counts(self):
@@ -82,3 +109,13 @@ class TestMerge:
     def test_merge_empty_list(self):
         m = merge_stats([])
         assert m.packets_injected == 0
+
+    def test_merge_sums_offered(self):
+        a, b = NetworkStats(), NetworkStats()
+        a.record_offer(read_request(SRC, DST), 1)
+        b.record_offer(read_reply(SRC, DST), 4)
+        b.record_injection(read_reply(SRC, DST), 4)
+        m = merge_stats([a, b])
+        assert m.packets_offered == 2
+        assert m.flits_offered == 5
+        assert m.packets_source_queued == 1
