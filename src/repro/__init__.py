@@ -30,8 +30,9 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import area, core, experiments, gpu, mem, noc, system, workloads
+from . import (area, core, experiments, gpu, mem, noc, system,
+               telemetry, workloads)
 
 __all__ = ["area", "core", "experiments", "gpu", "mem", "noc", "system",
-           "workloads",
+           "telemetry", "workloads",
            "__version__"]

@@ -7,6 +7,9 @@ Usage::
     python -m repro compare --benchmark RD --designs TB-DOR,CP-CR-4VC
     python -m repro area
     python -m repro sweep --design TB-DOR --rates 0.01,0.03,0.05
+    python -m repro run --benchmark RD --trace --sample-interval 100 \
+        --telemetry-out out/rd
+    python -m repro report out/rd --heatmaps
 
 The CLI is a thin veneer over the public API; everything it prints can be
 obtained programmatically (see examples/).
@@ -16,7 +19,9 @@ from __future__ import annotations
 
 import argparse
 import functools
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .area.chip import design_noc_area, throughput_effectiveness
@@ -25,6 +30,8 @@ from .experiments import compare_designs, load_latency_curves
 from .noc.traffic import HotspotManyToFew, UniformManyToFew
 from .parallel import log_progress
 from .system.accelerator import build_chip, perfect_chip
+from .telemetry import (COMPONENTS, TelemetryHub, TelemetrySpec, read_jsonl,
+                        render_summary_heatmaps)
 from .workloads.profiles import PROFILES, profile
 
 
@@ -61,6 +68,65 @@ def _print_result(result) -> None:
           f"efficiency {result.dram_efficiency:.1%}")
     print(f"L1 / L2 hit rate    {result.l1_hit_rate:.1%} / "
           f"{result.l2_hit_rate:.1%}")
+    if result.latency_max:
+        print(f"latency tail        p50 {result.latency_p50:.0f} / "
+              f"p95 {result.latency_p95:.0f} / "
+              f"p99 {result.latency_p99:.0f} cycles "
+              f"(max {result.latency_max:.0f})")
+
+
+def _telemetry_spec(args) -> Optional[TelemetrySpec]:
+    """Fold --trace / --sample-interval / --telemetry-out into a spec."""
+    spec = TelemetrySpec(trace=args.trace,
+                         sample_interval=args.sample_interval,
+                         out_dir=args.telemetry_out)
+    return spec if spec.enabled else None
+
+
+def _task_telemetry(args) -> Optional[TelemetrySpec]:
+    """Telemetry spec for task-based commands (compare/sweep), where the
+    simulations run in worker processes and artifacts on disk are the only
+    way to get the data back."""
+    spec = _telemetry_spec(args)
+    if spec is not None and spec.out_dir is None:
+        raise SystemExit("--telemetry-out DIR is required with --trace/"
+                         "--sample-interval here: tasks run in worker "
+                         "processes and write their artifacts there")
+    return spec
+
+
+def _print_decomposition(trace: dict) -> None:
+    """Figure 11's per-class latency decomposition from per-hop traces.
+    Components telescope: they sum exactly to the mean packet latency."""
+    print(f"\nlatency decomposition ({trace['traced_packets']} packets "
+          f"traced, {trace['retained_traces']} full traces retained)")
+    widths = {c: max(len(c), 7) for c in COMPONENTS}
+    head = " ".join(f"{c:>{widths[c]}s}" for c in COMPONENTS)
+    print(f"  {'class':8s} {'packets':>8s} {'latency':>8s} {head}")
+    for name, agg in trace["per_class"].items():
+        comps = agg["mean_components"]
+        row = " ".join(f"{comps[c]:{widths[c]}.1f}" for c in COMPONENTS)
+        print(f"  {name:8s} {agg['packets']:8d} "
+              f"{agg['mean_latency']:8.1f} {row}")
+        total = agg["mean_latency"]
+        if total:
+            queued = comps["queue"]
+            print(f"  {'':8s} queued {queued:.1f} ({queued / total:.0%})  "
+                  f"in-network {total - queued:.1f} "
+                  f"({(total - queued) / total:.0%})")
+
+
+def _print_telemetry(hub: TelemetryHub) -> None:
+    """Post-run telemetry block for the `run` command."""
+    print()
+    print(hub.profiler.format())
+    if hub.tracer is not None:
+        _print_decomposition(hub.tracer.summary())
+    if hub.spec.out_dir is not None:
+        written = hub.write_artifacts()
+        print()
+        for name, path in sorted(written.items()):
+            print(f"wrote {name:12s} {path}")
 
 
 def _apply_checks(design, args):
@@ -84,6 +150,11 @@ def _cmd_run(args) -> int:
     else:
         design = _apply_checks(design_by_name(args.design), args)
         chip = build_chip(prof, design=design, seed=args.seed)
+    spec = _telemetry_spec(args)
+    hub = None
+    if spec is not None:
+        hub = TelemetryHub(spec)
+        hub.attach_chip(chip)
     result = chip.run(warmup=args.warmup, measure=args.measure)
     _print_result(result)
     if args.check and args.design.lower() != "perfect":
@@ -94,18 +165,22 @@ def _cmd_run(args) -> int:
                 print(f"  - {problem}", file=sys.stderr)
             return 1
         print("invariant audit       clean (end state)")
+    if hub is not None:
+        _print_telemetry(hub)
     return 0
 
 
 def _cmd_compare(args) -> int:
     prof = profile(args.benchmark.upper())
     names = [n.strip() for n in args.designs.split(",")]
+    telemetry = _task_telemetry(args)
     comparison = compare_designs(
         [_apply_checks(design_by_name(n), args) for n in names],
         profiles=[prof],
         warmup=args.warmup, measure=args.measure, seed=args.seed,
         jobs=args.jobs, cache=args.cache,
-        progress=log_progress if args.progress else None)
+        progress=log_progress if args.progress else None,
+        telemetry=telemetry)
     base = comparison.results[names[0]][prof.abbr]
     print(f"{'design':26s} {'IPC':>8s} {'speedup':>8s} {'IPC/mm2':>9s}")
     for name in names:
@@ -114,6 +189,9 @@ def _cmd_compare(args) -> int:
         te = throughput_effectiveness(result.ipc, area)
         print(f"{name:26s} {result.ipc:8.2f} "
               f"{result.ipc / base.ipc - 1:+8.1%} {te:9.4f}")
+    if telemetry is not None:
+        print(f"telemetry artifacts under {telemetry.out_dir} "
+              f"(one directory per task; see `repro report`)")
     return 0
 
 
@@ -138,18 +216,92 @@ def _cmd_sweep(args) -> int:
     else:
         pattern_name = "uniform"
         factory = UniformManyToFew
+    telemetry = _task_telemetry(args)
     (curve,) = load_latency_curves(
         [design], rates, factory, pattern_name=pattern_name,
         warmup=args.warmup, measure=args.measure, seed=args.seed,
-        jobs=args.jobs, progress=log_progress if args.progress else None)
+        jobs=args.jobs, progress=log_progress if args.progress else None,
+        telemetry=telemetry)
     print(f"open-loop sweep of {design.name} ({pattern_name} many-to-few)")
-    print(f"{'rate':>8s} {'latency':>9s} {'accepted':>9s} {'saturated':>10s}")
+    print(f"{'rate':>8s} {'latency':>9s} {'p99':>8s} {'accepted':>9s} "
+          f"{'saturated':>10s}")
     for point in curve.points:
         latency = ("inf" if point.mean_latency == float("inf")
                    else f"{point.mean_latency:.1f}")
-        print(f"{point.offered_rate:8.3f} {latency:>9s} "
+        p99 = f"{point.latency_p99:.0f}" if point.packets_measured else "-"
+        print(f"{point.offered_rate:8.3f} {latency:>9s} {p99:>8s} "
               f"{point.accepted_flits_per_cycle:9.2f} "
               f"{'yes' if point.saturated else 'no':>10s}")
+    if telemetry is not None:
+        print(f"telemetry artifacts under {telemetry.out_dir} "
+              f"(one directory per task; see `repro report`)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Offline view of a telemetry artifact directory."""
+    root = Path(args.dir)
+    summary_path = root / "summary.json"
+    if not summary_path.is_file():
+        print(f"error: no summary.json under {root} — point `report` at "
+              f"one task's telemetry directory", file=sys.stderr)
+        return 1
+    summary = json.loads(summary_path.read_text(encoding="utf-8"))
+    print(f"telemetry report: {root}")
+    host = summary.get("host", {})
+    if host.get("simulated_cycles"):
+        print(f"host: {host['simulated_cycles']} cycles in "
+              f"{host['wall_seconds']:.2f}s "
+              f"({host['cycles_per_second']:.0f} cycles/s)")
+    for net in summary.get("networks", []):
+        lat, netlat = net["latency"], net["network_latency"]
+        print(f"\nnetwork {net['name']}: {net['cycles']} cycles, "
+              f"{net['mesh'][0]}x{net['mesh'][1]} mesh")
+        print(f"  latency   p50 {lat['p50']:.0f}  p95 {lat['p95']:.0f}  "
+              f"p99 {lat['p99']:.0f}  max {lat['max']:.0f}  "
+              f"({lat['count']} packets)")
+        print(f"  network   p50 {netlat['p50']:.0f}  "
+              f"p95 {netlat['p95']:.0f}  p99 {netlat['p99']:.0f}  "
+              f"max {netlat['max']:.0f}")
+    trace = summary.get("trace")
+    if trace and trace.get("per_class"):
+        _print_decomposition(trace)
+        routes = trace.get("per_route", [])[:args.routes]
+        if routes:
+            print("\nhottest routes (by packets)")
+            print(f"  {'src':>6s} {'dest':>6s} {'class':8s} "
+                  f"{'packets':>8s} {'latency':>8s} {'hops':>5s}")
+            for r in routes:
+                print(f"  {r['src']:>6s} {r['dest']:>6s} {r['class']:8s} "
+                      f"{r['packets']:8d} {r['mean_latency']:8.1f} "
+                      f"{r['mean_hops']:5.1f}")
+    samples_path = root / "samples.jsonl"
+    if samples_path.is_file():
+        header, rows = read_jsonl(samples_path)
+        net_rows = [r for r in rows if r.get("kind") == "network"]
+        chip_rows = [r for r in rows if r.get("kind") == "chip"]
+        print(f"\nsamples: {len(rows)} rows, every "
+              f"{header.get('interval')} cycles")
+        if net_rows:
+            peak = max(net_rows, key=lambda r: r["link_util_peak"])
+            print(f"  peak link utilization   {peak['link_util_peak']:.3f} "
+                  f"flits/cycle at cycle {peak['cycle']} "
+                  f"[{peak['network']}]")
+            busy = max(net_rows, key=lambda r: r["buffer_occupancy"])
+            print(f"  peak buffer occupancy   {busy['buffer_occupancy']} "
+                  f"flits at cycle {busy['cycle']} [{busy['network']}]")
+        if chip_rows:
+            m = max(chip_rows, key=lambda r: r["mshr_occupancy"])
+            print(f"  peak MSHR occupancy     {m['mshr_occupancy']} "
+                  f"at cycle {m['cycle']}")
+            g = max(chip_rows, key=lambda r: r["mc_gated"])
+            if g["mc_gated"]:
+                print(f"  peak gated MCs          {g['mc_gated']} "
+                      f"at cycle {g['cycle']}")
+    if args.heatmaps:
+        for net in summary.get("networks", []):
+            print()
+            print(render_summary_heatmaps(net))
     return 0
 
 
@@ -166,6 +318,7 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--measure", type=int, default=1500)
         p.add_argument("--seed", type=int, default=11)
         check_args(p)
+        telemetry_args(p)
 
     def check_args(p):
         p.add_argument("--check", action="store_true",
@@ -178,6 +331,18 @@ def make_parser() -> argparse.ArgumentParser:
                        metavar="K",
                        help="raise with a full state dump if no flit "
                             "moves for K non-idle cycles (0 = off)")
+
+    def telemetry_args(p):
+        p.add_argument("--trace", action="store_true",
+                       help="record per-hop packet traces and latency "
+                            "decomposition (read-only; results unchanged)")
+        p.add_argument("--sample-interval", type=int, default=0,
+                       metavar="N",
+                       help="snapshot buffer/link/MSHR/DRAM state every "
+                            "N cycles (0 = off)")
+        p.add_argument("--telemetry-out", default=None, metavar="DIR",
+                       help="write trace.jsonl / samples.jsonl+csv / "
+                            "heatmaps.txt / summary.json under DIR")
 
     run = sub.add_parser("run", help="closed-loop run of one benchmark")
     run.add_argument("--benchmark", required=True)
@@ -217,7 +382,18 @@ def make_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--measure", type=int, default=2500)
     sweep.add_argument("--seed", type=int, default=7)
     check_args(sweep)
+    telemetry_args(sweep)
     parallel_args(sweep)
+
+    report = sub.add_parser(
+        "report", help="inspect a telemetry artifact directory")
+    report.add_argument("dir", help="directory holding summary.json "
+                        "(written by --telemetry-out)")
+    report.add_argument("--routes", type=int, default=5, metavar="N",
+                        help="show the N hottest routes (default 5)")
+    report.add_argument("--heatmaps", action="store_true",
+                        help="re-render link/node heatmaps from the "
+                             "summary")
 
     return parser
 
@@ -228,6 +404,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "area": _cmd_area,
     "sweep": _cmd_sweep,
+    "report": _cmd_report,
 }
 
 

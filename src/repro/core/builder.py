@@ -143,6 +143,11 @@ class NetworkSystem:
         for network in self.networks:
             network.enable_checks(check_interval, watchdog_cycles)
 
+    def enable_tracer(self, tracer) -> None:
+        """Attach (or detach) a read-only packet tracer to every slice."""
+        for network in self.networks:
+            network.enable_tracer(tracer)
+
     def audit(self) -> List[str]:
         """Run the full invariant audit on every slice now; returns the
         list of violations (empty = clean)."""

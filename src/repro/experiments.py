@@ -91,13 +91,18 @@ def compare_designs(designs: Sequence[NetworkDesign],
                     config: Optional[ChipConfig] = None,
                     warmup: int = 400, measure: int = 800,
                     seed: int = 11, jobs: Optional[int] = None,
-                    cache=None, progress=None) -> DesignComparison:
+                    cache=None, progress=None,
+                    telemetry=None) -> DesignComparison:
     """Run each design over the suite; the first design (or ``baseline``)
     anchors the speedups.
 
     One independent task per (design, benchmark) point, each with its own
     derived seed; ``jobs``/``cache``/``progress`` are forwarded to
-    :func:`repro.parallel.run_tasks`.
+    :func:`repro.parallel.run_tasks`.  ``telemetry`` is an optional
+    :class:`repro.telemetry.TelemetrySpec` applied to every task; each
+    task writes its artifacts under ``spec.out_dir`` (see
+    :meth:`repro.parallel.SimTask.telemetry_dir`) without perturbing the
+    simulation results.
     """
     profiles = list(profiles) if profiles is not None else list(PROFILES)
     designs = list(designs)
@@ -108,7 +113,7 @@ def compare_designs(designs: Sequence[NetworkDesign],
         SimTask(kind="closed", label=f"{design.name}/{prof.abbr}",
                 seed=derive_seed(seed, "closed", design.name, prof.abbr),
                 warmup=warmup, measure=measure, design=design,
-                profile=prof, config=config)
+                profile=prof, config=config, telemetry=telemetry)
         for design in designs for prof in profiles
     ]
     payloads = run_tasks(tasks, jobs=jobs, cache=cache, progress=progress)
@@ -239,7 +244,8 @@ def load_latency_curves(
         pattern_name: str = "uniform",
         warmup: int = 1000, measure: int = 3000,
         seed: int = 7, jobs: Optional[int] = None,
-        cache=None, progress=None) -> List[LoadLatencyCurve]:
+        cache=None, progress=None,
+        telemetry=None) -> List[LoadLatencyCurve]:
     """Figure 21's open-loop study over a set of designs.
 
     Every (design, pattern, rate) point gets an independently derived seed
@@ -249,7 +255,8 @@ def load_latency_curves(
     :class:`~repro.noc.traffic.UniformManyToFew` or a
     :func:`functools.partial`, not a lambda.  ``pattern_name`` doubles as
     the cache discriminator for the pattern, so keep it unique per pattern
-    configuration.
+    configuration.  ``telemetry`` (a :class:`repro.telemetry.TelemetrySpec`)
+    attaches per-task observability exactly as in :func:`compare_designs`.
     """
     designs = list(designs)
     rates = list(rates)
@@ -260,7 +267,7 @@ def load_latency_curves(
                                  pattern_name, rate),
                 warmup=warmup, measure=measure, design=design,
                 pattern_factory=pattern_factory, pattern_name=pattern_name,
-                rate=rate)
+                rate=rate, telemetry=telemetry)
         for design in designs for rate in rates
     ]
     payloads = run_tasks(tasks, jobs=jobs, cache=cache, progress=progress)

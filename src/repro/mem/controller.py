@@ -201,6 +201,23 @@ class MemoryController:
         """Reply packets waiting for the reply network to accept them."""
         return list(self._replies)
 
+    @property
+    def input_queue_depth(self) -> int:
+        """Requests sitting in the L2-lookup input pipeline right now."""
+        return len(self._input)
+
+    @property
+    def reply_backlog_depth(self) -> int:
+        """Replies waiting for the reply network to accept them."""
+        return len(self._replies)
+
+    @property
+    def gated(self) -> bool:
+        """True while the reply backlog gates request processing — the
+        instantaneous form of the Figure 11 stall state, sampled by the
+        telemetry time series."""
+        return self._gated()
+
     # -- stats ---------------------------------------------------------------
 
     def stall_fraction(self) -> float:

@@ -40,6 +40,11 @@ class MshrFile:
         return len(self._entries)
 
     @property
+    def occupancy(self) -> int:
+        """Outstanding entries (telemetry-facing alias of ``len``)."""
+        return len(self._entries)
+
+    @property
     def full(self) -> bool:
         return len(self._entries) >= self.num_entries
 

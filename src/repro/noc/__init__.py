@@ -9,6 +9,7 @@ the limit studies.
 
 from .arbiter import RoundRobinArbiter, SeparableAllocator
 from .channel import Channel
+from .histogram import StreamingHistogram, merge_histograms
 from .ideal import BandwidthLimitedNetwork, PerfectNetwork
 from .invariants import (DeadlockError, InvariantChecker,
                          InvariantViolation, audit_accelerator,
@@ -39,12 +40,14 @@ __all__ = [
     "PerfectNetwork", "READ_REPLY_BYTES", "READ_REQUEST_BYTES",
     "RouteGroup", "Router", "RouterSpec", "RoundRobinArbiter",
     "RoutingAlgorithm", "RoutingViolation", "SeparableAllocator",
-    "TrafficClass", "UniformManyToFew", "UniformRandom", "VcConfig",
+    "StreamingHistogram", "TrafficClass", "UniformManyToFew",
+    "UniformRandom", "VcConfig",
     "WRITE_REQUEST_BYTES", "audit_accelerator", "audit_network",
     "audit_system", "check_accelerator", "check_network",
     "dedicated_vc_config", "ejection_port", "format_network_state",
     "format_system_state", "full_connectivity", "half_connectivity",
-    "injection_port", "is_terminal_port", "merge_stats", "minimal_hops",
+    "injection_port", "is_terminal_port", "merge_histograms",
+    "merge_stats", "minimal_hops",
     "read_reply", "read_request", "shared_vc_config", "sweep_load",
     "write_request",
 ]

@@ -20,7 +20,7 @@ class Channel:
 
     __slots__ = ("latency", "credit_delay", "src_router", "src_port",
                  "dst_router", "dst_port", "_flits", "_credits",
-                 "flits_carried", "watch")
+                 "flits_carried", "watch", "tracer")
 
     def __init__(self, latency: int = 1, credit_delay: int = 1) -> None:
         if latency < 1:
@@ -38,6 +38,9 @@ class Channel:
         #: network uses it to keep an active-channel set so that idle
         #: channels are skipped entirely by the cycle loop.
         self.watch = None
+        #: Opt-in per-link flit tracer (``repro.telemetry``); ``None``
+        #: keeps the send path at a single attribute test.
+        self.tracer = None
 
     def connect(self, src_router, src_port: PortId,
                 dst_router, dst_port: PortId) -> None:
@@ -51,6 +54,8 @@ class Channel:
         self.flits_carried += 1
         if self.watch is not None:
             self.watch(self)
+        if self.tracer is not None:
+            self.tracer.on_link(self, flit, cycle)
 
     def send_credit(self, vc: int, cycle: int) -> None:
         self._credits.append((cycle + self.credit_delay, vc))

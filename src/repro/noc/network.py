@@ -133,6 +133,10 @@ class MeshNetwork:
         #: Opt-in invariant checker; ``None`` keeps the hot path at a
         #: single attribute test per cycle.
         self.checker: Optional[InvariantChecker] = None
+        #: Opt-in packet tracer (``repro.telemetry``); attached via
+        #: :meth:`enable_tracer`, ``None`` keeps each event site at a
+        #: single attribute test.
+        self.tracer = None
         if params.check_interval or params.watchdog_cycles:
             self.enable_checks(params.check_interval,
                                params.watchdog_cycles)
@@ -149,6 +153,17 @@ class MeshNetwork:
         self.checker = InvariantChecker(self, check_interval,
                                         watchdog_cycles)
         return self.checker
+
+    def enable_tracer(self, tracer) -> None:
+        """Attach (or detach, with ``None``) a read-only per-hop packet
+        tracer to this network, its routers and its channels.  Tracing
+        never mutates simulation state, so results are bit-identical with
+        it on or off."""
+        self.tracer = tracer
+        for router in self.routers.values():
+            router.tracer = tracer
+        for channel in self.channels:
+            channel.tracer = tracer
 
     def carries(self, packet: Packet) -> bool:
         return self.vc_config.carries(packet.traffic_class)
@@ -171,6 +186,8 @@ class MeshNetwork:
         self._source_occupancy[packet.src] = occupancy + num_flits
         self._source_flits += num_flits
         self.stats.record_offer(packet, num_flits)
+        if self.tracer is not None:
+            self.tracer.on_offer(packet, self.name, cycle)
         return True
 
     def step(self, cycle: Optional[int] = None) -> None:
@@ -305,6 +322,8 @@ class MeshNetwork:
         self._reassembly.pop(packet.pid, None)
         packet.ejected = now
         self.stats.record_ejection(packet, total)
+        if self.tracer is not None:
+            self.tracer.on_eject(packet, now)
         handler = self._handlers.get(packet.dest)
         if handler is not None:
             handler(packet, now)

@@ -12,6 +12,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from .histogram import StreamingHistogram
 from .invariants import InvariantViolation, audit_system, format_system_state
 from .packet import Packet, TrafficClass, read_reply, read_request
 from .topology import Coord
@@ -29,6 +30,13 @@ class LoadLatencyPoint:
     accepted_flits_per_cycle: float
     packets_measured: int
     saturated: bool
+    # Latency tail over measured packets (Figure 9 curves can report tails,
+    # not just means).  Defaults keep old serialized payloads loadable.
+    latency_min: float = 0.0
+    latency_max: float = 0.0
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
 
     def to_json(self) -> dict:
         """JSON-compatible dict (``inf`` latencies included); floats
@@ -48,7 +56,8 @@ class OpenLoopRunner:
     def __init__(self, network, compute_nodes: Sequence[Coord],
                  mc_nodes: Sequence[Coord], pattern: DestinationPattern,
                  rate: float, seed: int = 7,
-                 saturation_latency: float = 300.0) -> None:
+                 saturation_latency: float = 300.0,
+                 telemetry=None) -> None:
         self.network = network
         self.compute_nodes = list(compute_nodes)
         self.mc_nodes = list(mc_nodes)
@@ -59,7 +68,13 @@ class OpenLoopRunner:
         self._measuring = False
         self._lat_sum = {TrafficClass.REQUEST: 0, TrafficClass.REPLY: 0}
         self._lat_count = {TrafficClass.REQUEST: 0, TrafficClass.REPLY: 0}
+        self._lat_hist = StreamingHistogram()
         self._measure_start = 0
+        #: Opt-in :class:`repro.telemetry.TelemetryHub`; its hooks are
+        #: read-only, so results are bit-identical with it on or off.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.attach_network(network)
         for mc in self.mc_nodes:
             network.set_ejection_handler(mc, self._on_request)
         for core in self.compute_nodes:
@@ -84,6 +99,7 @@ class OpenLoopRunner:
             return
         self._lat_sum[packet.traffic_class] += packet.latency
         self._lat_count[packet.traffic_class] += 1
+        self._lat_hist.add(packet.latency)
 
     # -- driving -------------------------------------------------------------
 
@@ -117,6 +133,10 @@ class OpenLoopRunner:
                 + format_system_state(self.network))
 
     def _cycle(self, tag: Optional[str]) -> None:
+        telemetry = self.telemetry
+        if telemetry is not None:
+            self._cycle_instrumented(telemetry, tag)
+            return
         net = self.network
         cycle = net.cycle
         for core in self.compute_nodes:
@@ -125,6 +145,25 @@ class OpenLoopRunner:
                 packet = read_request(core, dest, created=cycle, payload=tag)
                 net.try_inject(packet, cycle)
         net.step()
+
+    def _cycle_instrumented(self, telemetry, tag: Optional[str]) -> None:
+        """Telemetry-enabled twin of :meth:`_cycle`: identical simulation
+        order (results stay bit-identical) plus host timing and the
+        per-cycle telemetry hook.  Changes must be made in both bodies."""
+        profiler = telemetry.profiler
+        t = profiler.clock()
+        net = self.network
+        cycle = net.cycle
+        for core in self.compute_nodes:
+            if self._rng.random() < self.rate:
+                dest = self.pattern.pick(core, self._rng)
+                packet = read_request(core, dest, created=cycle, payload=tag)
+                net.try_inject(packet, cycle)
+        t = profiler.add_since("injection", t)
+        net.step()
+        t = profiler.add_since("network", t)
+        telemetry.on_cycle(net.cycle)
+        profiler.add_since("telemetry", t)
 
     def _summarize(self, measure: int) -> LoadLatencyPoint:
         req_n = self._lat_count[TrafficClass.REQUEST]
@@ -138,12 +177,13 @@ class OpenLoopRunner:
         mean_rep = (self._lat_sum[TrafficClass.REPLY] / rep_n
                     if rep_n else float("inf"))
         stats = self.network.stats
-        accepted = stats.flits_ejected / stats.cycles if stats.cycles else 0.0
+        accepted = stats.accepted_flit_rate()  # per-slice aware
         # Saturation shows either as latency blow-up or as a growing backlog
         # (packets that never complete inside the measurement window).
         backlog = stats.packets_injected - stats.packets_ejected
         backlogged = stats.packets_injected > 0 and (
             backlog > 0.2 * stats.packets_injected)
+        tail = self._lat_hist.summary()
         return LoadLatencyPoint(
             offered_rate=self.rate,
             mean_latency=mean,
@@ -154,6 +194,11 @@ class OpenLoopRunner:
             saturated=mean > self.saturation_latency
             or mean_rep > self.saturation_latency     # reply path saturated
             or backlogged or rep_n == 0,
+            latency_min=tail["min"],
+            latency_max=tail["max"],
+            latency_p50=tail["p50"],
+            latency_p95=tail["p95"],
+            latency_p99=tail["p99"],
         )
 
 

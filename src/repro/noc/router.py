@@ -152,6 +152,9 @@ class Router:
         self._va_rotate = 0
         #: Flits currently buffered; routers with zero occupancy are skipped.
         self.occupancy = 0
+        #: Opt-in per-hop packet tracer (``repro.telemetry``); ``None``
+        #: keeps each event site at a single attribute test.
+        self.tracer = None
 
     # -- assembly ----------------------------------------------------------
 
@@ -198,6 +201,9 @@ class Router:
         flit.ready = cycle + self.pipeline_latency
         state.buffer.append(flit)
         self.occupancy += 1
+        tracer = self.tracer
+        if tracer is not None and flit.is_head:
+            tracer.on_hop_arrive(flit.packet, self.coord, port, cycle)
 
     def deliver_credit(self, port: PortId, vc: int) -> None:
         self.out_ports[port].credits[vc] += 1
@@ -249,10 +255,11 @@ class Router:
                                 f"group={packet.group}")
                         vc_state.out_port = direction
                 if vc_state.out_vc is None:
-                    self._vc_allocate(in_port, in_vc, vc_state, packet)
+                    self._vc_allocate(in_port, in_vc, vc_state, packet,
+                                      cycle)
 
     def _vc_allocate(self, in_port: PortId, in_vc: int, vc_state: _InputVc,
-                     packet: Packet) -> None:
+                     packet: Packet, cycle: int) -> None:
         allowed = self.vc_config.allowed_vcs(packet.traffic_class,
                                              packet.group)
         if vc_state.out_port is Direction.EJECT:
@@ -266,6 +273,10 @@ class Router:
                 out.owner[vc] = (in_port, in_vc)
                 vc_state.out_vc = vc
                 vc_state.out_port = port_id
+                tracer = self.tracer
+                if tracer is not None:
+                    tracer.on_vc_alloc(packet, self.coord, port_id, vc,
+                                       cycle)
                 return
 
     def _eject_candidates(self) -> Tuple[PortId, ...]:
@@ -297,6 +308,7 @@ class Router:
         ejected: List[Tuple[Flit, PortId]] = []
         if not requests:
             return ejected
+        tracer = self.tracer
         for in_port, vc_idx, out_port_id in self._allocator.allocate(requests):
             vc_state = self.in_ports[in_port][vc_idx]
             flit = vc_state.buffer.popleft()
@@ -304,6 +316,8 @@ class Router:
             out = self.out_ports[out_port_id]
             out_vc = vc_state.out_vc
             out.credits[out_vc] -= 1
+            if tracer is not None and flit.is_head:
+                tracer.on_switch(flit.packet, self.coord, out_port_id, cycle)
             if out.sink is not None:
                 ejected.append((flit, out_port_id))
             else:

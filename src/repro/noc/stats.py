@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from .histogram import StreamingHistogram, merge_histograms
 from .packet import Packet, TrafficClass
 from .topology import Coord
 
@@ -15,6 +16,10 @@ class _ClassStats:
     flits: int = 0
     latency_sum: int = 0
     network_latency_sum: int = 0
+    latency_hist: StreamingHistogram = field(
+        default_factory=StreamingHistogram)
+    network_latency_hist: StreamingHistogram = field(
+        default_factory=StreamingHistogram)
 
     def mean_latency(self) -> float:
         return self.latency_sum / self.packets if self.packets else 0.0
@@ -45,6 +50,12 @@ class NetworkStats:
         }
         self.node_injected_flits: Dict[Coord, int] = {}
         self.node_ejected_flits: Dict[Coord, int] = {}
+        #: Per-slice source stats when this instance was produced by
+        #: :func:`merge_stats`; empty for a plain single network.  Rate
+        #: methods consult it so that slices measured over different cycle
+        #: counts are aggregated per slice rather than dividing summed
+        #: counters by ``max(cycles)``.
+        self._slice_stats: List["NetworkStats"] = []
 
     # -- recording ----------------------------------------------------------
 
@@ -68,6 +79,8 @@ class NetworkStats:
         cs.flits += num_flits
         cs.latency_sum += packet.latency
         cs.network_latency_sum += packet.network_latency
+        cs.latency_hist.add(packet.latency)
+        cs.network_latency_hist.add(packet.network_latency)
         node = self.node_ejected_flits
         node[packet.dest] = node.get(packet.dest, 0) + num_flits
 
@@ -107,12 +120,36 @@ class NetworkStats:
         total = sum(c.network_latency_sum for c in self.per_class.values())
         return total / packets
 
+    def latency_histogram(self, network_only: bool = False
+                          ) -> StreamingHistogram:
+        """All-class latency distribution (a fresh merged copy).
+
+        ``network_only`` selects network latency (injection to ejection)
+        instead of full packet latency (creation to ejection)."""
+        return merge_histograms(
+            (cs.network_latency_hist if network_only else cs.latency_hist)
+            for cs in self.per_class.values())
+
+    def latency_summary(self, network_only: bool = False) -> Dict[str, float]:
+        """count / min / max / p50 / p95 / p99 over all ejected packets."""
+        return self.latency_histogram(network_only).summary()
+
     def accepted_flit_rate(self) -> float:
-        """Ejected flits per cycle, summed over all nodes."""
+        """Ejected flits per cycle, summed over all nodes.
+
+        For merged sliced stats whose slices ran different cycle counts the
+        rate is the sum of per-slice rates (see :func:`merge_stats`)."""
+        slices = self._slice_stats
+        if slices and any(s.cycles != self.cycles for s in slices):
+            return sum(s.accepted_flit_rate() for s in slices)
         return self.flits_ejected / self.cycles if self.cycles else 0.0
 
     def injection_rate(self, node: Coord) -> float:
-        """Injected flits per cycle at ``node``."""
+        """Injected flits per cycle at ``node`` (per-slice aware, like
+        :meth:`accepted_flit_rate`)."""
+        slices = self._slice_stats
+        if slices and any(s.cycles != self.cycles for s in slices):
+            return sum(s.injection_rate(node) for s in slices)
         if not self.cycles:
             return 0.0
         return self.node_injected_flits.get(node, 0) / self.cycles
@@ -124,7 +161,20 @@ class NetworkStats:
 
 
 def merge_stats(stats_list: List[NetworkStats]) -> NetworkStats:
-    """Aggregate statistics across the sub-networks of a sliced design."""
+    """Aggregate statistics across the sub-networks of a sliced design.
+
+    Contract: counters (packets, flits, latency sums, per-node flit counts)
+    are summed; ``cycles`` is the **master clock** — ``max`` across slices —
+    because the slices of a double network advance in lockstep and their
+    cycle counts are equal in every normal run.  When they are *not* equal
+    (merging stats windows of different lengths), dividing summed flit
+    counters by one slice's cycles would misstate the rates, so the merged
+    instance keeps the per-slice stats and :meth:`NetworkStats.\
+accepted_flit_rate` / :meth:`NetworkStats.injection_rate` switch to summing
+    per-slice rates in that case.  The equal-cycles case deliberately keeps
+    the single-division arithmetic so merged rates stay bit-identical to
+    historical outputs (``a/c + b/c != (a+b)/c`` in floating point).
+    """
     merged = NetworkStats()
     for stats in stats_list:
         merged.cycles = max(merged.cycles, stats.cycles)
@@ -140,10 +190,13 @@ def merge_stats(stats_list: List[NetworkStats]) -> NetworkStats:
             target.flits += cs.flits
             target.latency_sum += cs.latency_sum
             target.network_latency_sum += cs.network_latency_sum
+            target.latency_hist.merge(cs.latency_hist)
+            target.network_latency_hist.merge(cs.network_latency_hist)
         for node, flits in stats.node_injected_flits.items():
             merged.node_injected_flits[node] = (
                 merged.node_injected_flits.get(node, 0) + flits)
         for node, flits in stats.node_ejected_flits.items():
             merged.node_ejected_flits[node] = (
                 merged.node_ejected_flits.get(node, 0) + flits)
+    merged._slice_stats = list(stats_list)
     return merged

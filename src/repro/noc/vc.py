@@ -65,6 +65,31 @@ class VcConfig:
             return vcs[half:]
         raise ValueError(f"unknown route group {group!r}")
 
+    # -- read-only introspection (telemetry labels) --------------------------
+
+    def classes_of_vc(self, vc: int) -> Tuple[TrafficClass, ...]:
+        """Traffic classes a VC index may carry (several for a shared class
+        index, one for dedicated networks)."""
+        if not 0 <= vc < self.num_vcs:
+            raise ValueError(f"VC {vc} out of range 0..{self.num_vcs - 1}")
+        idx = vc // self.vcs_per_class
+        return tuple(klass for klass, i in self.class_map if i == idx)
+
+    def route_group_of_vc(self, vc: int) -> RouteGroup:
+        """Route group a VC index serves (``ANY`` without route splitting)."""
+        if not self.route_split:
+            return RouteGroup.ANY
+        half = self.vcs_per_class // 2
+        return (RouteGroup.XY if vc % self.vcs_per_class < half
+                else RouteGroup.YX)
+
+    def describe_vc(self, vc: int) -> str:
+        """Human-readable VC label, e.g. ``"REQUEST/xy"`` — used by the
+        telemetry sampler's per-VC occupancy breakdown."""
+        classes = "+".join(k.name for k in self.classes_of_vc(vc))
+        group = self.route_group_of_vc(vc)
+        return f"{classes}/{group.value}"
+
 
 def shared_vc_config(vcs_per_class: int = 1,
                      route_split: bool = False) -> VcConfig:

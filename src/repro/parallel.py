@@ -225,6 +225,11 @@ class SimTask:
     pattern_factory: Optional[Callable] = None
     pattern_name: Optional[str] = None
     rate: Optional[float] = None
+    #: Optional :class:`repro.telemetry.TelemetrySpec`.  Telemetry is
+    #: read-only and never changes results, so it is deliberately excluded
+    #: from the cache key — but a cache hit is bypassed when requested
+    #: artifacts are missing on disk (see :func:`run_tasks`).
+    telemetry: Optional[Any] = None
 
     def cache_key(self) -> str:
         """Stable cache key over every result-determining field."""
@@ -232,6 +237,10 @@ class SimTask:
         config = self.config if self.config is not None else (
             paper_config() if self.kind != "openloop" else None)
         spec = {
+            # Bumped whenever the result payload format changes (schema 2:
+            # latency tail percentiles on results), so stale cache entries
+            # from older code are never served.
+            "schema": 2,
             "kind": self.kind,
             "seed": self.seed,
             "warmup": self.warmup,
@@ -243,6 +252,18 @@ class SimTask:
             "rate": self.rate,
         }
         return stable_key(spec)
+
+    def telemetry_dir(self) -> Optional[Path]:
+        """Artifact directory for this task's telemetry output, keyed like
+        the result cache (``<label-slug>-<cache_key[:12]>``) so artifacts
+        and cached results stay associated; ``None`` when the task does not
+        write artifacts."""
+        spec = self.telemetry
+        if spec is None or spec.out_dir is None:
+            return None
+        slug = "".join(c if c.isalnum() or c in "._" else "-"
+                       for c in self.label) or "task"
+        return Path(spec.out_dir) / f"{slug}-{self.cache_key()[:12]}"
 
 
 @dataclass(frozen=True)
@@ -266,6 +287,10 @@ def _run_task(task: SimTask) -> str:
     """
     EXECUTION_COUNTER.executed += 1
     start = time.perf_counter()
+    hub = None
+    if task.telemetry is not None and task.telemetry.enabled:
+        from .telemetry import TelemetryHub
+        hub = TelemetryHub(task.telemetry)
     if task.kind == "openloop":
         from .core.builder import build, open_loop_variant
         from .noc.openloop import OpenLoopRunner
@@ -273,25 +298,35 @@ def _run_task(task: SimTask) -> str:
         runner = OpenLoopRunner(system, system.compute_nodes,
                                 system.mc_nodes,
                                 task.pattern_factory(system.mc_nodes),
-                                task.rate, seed=task.seed)
+                                task.rate, seed=task.seed, telemetry=hub)
         result = runner.run(warmup=task.warmup, measure=task.measure)
     elif task.kind == "perfect":
         from .system.accelerator import perfect_chip
         chip = perfect_chip(task.profile, config=task.config, seed=task.seed)
+        if hub is not None:
+            hub.attach_chip(chip)       # ideal network: chip columns only
         result = chip.run(warmup=task.warmup, measure=task.measure)
     elif task.kind == "closed":
         from .system.accelerator import build_chip
         chip = build_chip(task.profile, design=task.design,
                           config=task.config, seed=task.seed)
+        if hub is not None:
+            hub.attach_chip(chip)
         result = chip.run(warmup=task.warmup, measure=task.measure)
     else:
         raise ValueError(f"unknown task kind {task.kind!r}")
-    return json.dumps({
+    payload = {
         "kind": task.kind,
         "label": task.label,
         "elapsed": time.perf_counter() - start,
         "result": result.to_json(),
-    })
+    }
+    if hub is not None:
+        artifact_dir = task.telemetry_dir()
+        if artifact_dir is not None:
+            hub.write_artifacts(artifact_dir)
+            payload["telemetry_dir"] = str(artifact_dir)
+    return json.dumps(payload)
 
 
 # ---------------------------------------------------------------------------
@@ -323,7 +358,12 @@ def run_tasks(tasks: Sequence[SimTask], jobs: Optional[int] = None,
         if store is not None:
             keys[i] = task.cache_key()
             hit = store.get(keys[i])
-            if hit is not None:
+            # A cached result only substitutes for running the task if the
+            # requested telemetry artifacts already exist on disk (the
+            # cache stores results, not artifacts).
+            artifact_dir = task.telemetry_dir()
+            artifacts_ok = artifact_dir is None or artifact_dir.is_dir()
+            if hit is not None and artifacts_ok:
                 payloads[i] = hit
                 if progress is not None:
                     progress(TaskReport(i, total, task.label,

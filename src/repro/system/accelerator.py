@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 from ..core.builder import NetworkDesign, NetworkSystem, build
 from ..gpu.core import SimtCore
 from ..mem.controller import AddressMap, MemoryController
+from ..noc.histogram import merge_histograms
 from ..noc.ideal import BandwidthLimitedNetwork, PerfectNetwork
 from ..noc.invariants import (audit_accelerator, check_accelerator,
                               format_system_state)
@@ -46,6 +47,14 @@ class SimulationResult:
     dram_row_hit_rate: float
     l1_hit_rate: float
     l2_hit_rate: float
+    # Packet-latency tail statistics over the measurement window (bounded
+    # streaming histogram; defaults keep old cached/serialized payloads
+    # loadable).
+    latency_min: float = 0.0
+    latency_max: float = 0.0
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
 
     def speedup_over(self, baseline: "SimulationResult") -> float:
         if baseline.ipc == 0:
@@ -89,6 +98,7 @@ class _Snapshot:
     l1_accesses: int
     l2_hits: int
     l2_accesses: int
+    latency_hist: object = None          # StreamingHistogram copy
 
 
 class Accelerator:
@@ -133,6 +143,10 @@ class Accelerator:
         #: checkers are configured on the design and run inside
         #: ``network.step`` independently of this.
         self._check_interval = 0
+        #: Opt-in telemetry hub (``repro.telemetry``), attached via
+        #: ``TelemetryHub.attach_chip``; ``None`` keeps ``step`` at a
+        #: single attribute test.
+        self.telemetry = None
 
     # -- plumbing -------------------------------------------------------------
 
@@ -161,6 +175,10 @@ class Accelerator:
 
     def step(self) -> None:
         """One interconnect cycle (master clock)."""
+        telemetry = self.telemetry
+        if telemetry is not None:
+            self._step_instrumented(telemetry)
+            return
         self.icnt_cycle += 1
         now = self.icnt_cycle
         for _ in range(self._core_clock.advance()):
@@ -188,6 +206,44 @@ class Accelerator:
                 mc.dram_step(mclk)
         if self._check_interval and now % self._check_interval == 0:
             check_accelerator(self)
+
+    def _step_instrumented(self, telemetry) -> None:
+        """Telemetry-enabled twin of :meth:`step`: identical simulation
+        order (results stay bit-identical — pinned by golden tests) with
+        per-phase host timing and the per-cycle telemetry hook.  Kept as a
+        separate body so the common path stays branch-free; any change to
+        the phase sequence must be made in both."""
+        profiler = telemetry.profiler
+        t = profiler.clock()
+        self.icnt_cycle += 1
+        now = self.icnt_cycle
+        for _ in range(self._core_clock.advance()):
+            self.core_cycle += 1
+            cc = self.core_cycle
+            for core in self.cores:
+                core.step(cc)
+        t = profiler.add_since("cores", t)
+        for core in self.cores:
+            outbound = core.outbound
+            while outbound:
+                outbound[0].created = now
+                if not self.network.try_inject(outbound[0], now):
+                    break
+                outbound.popleft()
+        self.network.step(now)
+        t = profiler.add_since("network", t)
+        for mc in self.mcs:
+            mc.icnt_step(now)
+        for _ in range(self._dram_clock.advance()):
+            self.dram_cycle += 1
+            mclk = self.dram_cycle
+            for mc in self.mcs:
+                mc.dram_step(mclk)
+        t = profiler.add_since("memory", t)
+        if self._check_interval and now % self._check_interval == 0:
+            check_accelerator(self)
+        telemetry.on_cycle(now)
+        profiler.add_since("telemetry", t)
 
     def run(self, warmup: int = 1_000, measure: int = 3_000,
             label: Optional[str] = None) -> SimulationResult:
@@ -253,6 +309,9 @@ class Accelerator:
                 net_lat += cs.network_latency_sum
                 packet_lat += cs.latency_sum
                 packets += cs.packets
+        latency_hist = merge_histograms(
+            cs.latency_hist for net in nets
+            for cs in net.stats.per_class.values())
         return _Snapshot(
             core_cycles=self.core_cycle,
             retired=sum(core.retired_scalar for core in self.cores),
@@ -274,6 +333,7 @@ class Accelerator:
             l1_accesses=sum(core.l1.accesses for core in self.cores),
             l2_hits=sum(mc.l2.hits for mc in self.mcs),
             l2_accesses=sum(mc.l2.accesses for mc in self.mcs),
+            latency_hist=latency_hist,
         )
 
     def _result(self, before: _Snapshot, after: _Snapshot,
@@ -288,6 +348,8 @@ class Accelerator:
         def rate(num, den):
             return num / den if den else 0.0
 
+        window_hist = after.latency_hist.delta(before.latency_hist)
+        tail = window_hist.summary()
         return SimulationResult(
             benchmark=self.kernel.profile.abbr,
             network=label if label is not None else getattr(
@@ -322,6 +384,11 @@ class Accelerator:
                              after.l1_accesses - before.l1_accesses),
             l2_hit_rate=rate(after.l2_hits - before.l2_hits,
                              after.l2_accesses - before.l2_accesses),
+            latency_min=tail["min"],
+            latency_max=tail["max"],
+            latency_p50=tail["p50"],
+            latency_p95=tail["p95"],
+            latency_p99=tail["p99"],
         )
 
 

@@ -1,0 +1,42 @@
+"""Opt-in, read-only observability for the NoC and memory system.
+
+The telemetry layer records what the end-of-run aggregates in
+:mod:`repro.noc.stats` cannot: *where* each packet's latency went (per-hop
+traces), *when* congestion built up (time-series sampling), *which* links
+carried it (heatmaps), and where the host's wall-clock goes (profiling).
+
+Design rules, shared with the invariant checker of ``repro.noc.invariants``:
+
+* **Off by default** — with telemetry disabled every event site in the hot
+  path costs exactly one attribute test (``if x is not None``).
+* **Read-only** — hooks never mutate packets, flits, router state or RNG
+  streams, so enabling telemetry leaves results bit-identical (golden
+  tests pin this).
+
+Typical use::
+
+    from repro.telemetry import TelemetryHub, TelemetrySpec
+    hub = TelemetryHub(TelemetrySpec(trace=True, sample_interval=100,
+                                     out_dir="out/telemetry"))
+    hub.attach_chip(chip)            # or hub.attach_network(system)
+    chip.run(warmup=500, measure=1500)
+    hub.write_artifacts()            # trace/samples/heatmaps/summary
+"""
+
+from .export import (SAMPLES_SCHEMA, SUMMARY_SCHEMA, TRACE_SCHEMA,
+                     coord_key, link_key, parse_coord, parse_link,
+                     read_jsonl, write_csv, write_jsonl)
+from .heatmap import render_link_heatmap, render_node_heatmap
+from .hub import TelemetryHub, TelemetrySpec, render_summary_heatmaps
+from .profiler import HostProfiler
+from .sampler import TimeSeriesSampler
+from .trace import COMPONENTS, HopRecord, PacketTrace, PacketTracer
+
+__all__ = [
+    "COMPONENTS", "HopRecord", "HostProfiler", "PacketTrace",
+    "PacketTracer", "SAMPLES_SCHEMA", "SUMMARY_SCHEMA", "TRACE_SCHEMA",
+    "TelemetryHub", "TelemetrySpec", "TimeSeriesSampler", "coord_key",
+    "link_key", "parse_coord", "parse_link", "read_jsonl",
+    "render_link_heatmap", "render_node_heatmap",
+    "render_summary_heatmaps", "write_csv", "write_jsonl",
+]

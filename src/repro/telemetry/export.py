@@ -1,0 +1,90 @@
+"""Telemetry artifact formats: JSONL / CSV writers and key encodings.
+
+Every JSONL artifact starts with a header line carrying a ``schema`` tag so
+offline tooling can validate what it is reading; the schema strings below
+are pinned by the telemetry tests and must only change together with a
+version bump.  Coordinates and links are encoded as compact strings
+(``"x,y"`` and ``"x,y->x,y"``) because JSON objects need string keys.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from ..noc.topology import Coord
+
+#: Schema tags written into artifact headers (pinned by tests).
+TRACE_SCHEMA = "repro-telemetry-trace-v1"
+SAMPLES_SCHEMA = "repro-telemetry-samples-v1"
+SUMMARY_SCHEMA = "repro-telemetry-summary-v1"
+
+
+def coord_key(coord: Coord) -> str:
+    """``Coord(x, y)`` -> ``"x,y"``."""
+    return f"{coord.x},{coord.y}"
+
+
+def parse_coord(key: str) -> Coord:
+    """Inverse of :func:`coord_key`."""
+    x, y = key.split(",")
+    return Coord(int(x), int(y))
+
+
+def link_key(src: Coord, dst: Coord) -> str:
+    """Directed link -> ``"x,y->x,y"``."""
+    return f"{coord_key(src)}->{coord_key(dst)}"
+
+
+def parse_link(key: str) -> Tuple[Coord, Coord]:
+    """Inverse of :func:`link_key`."""
+    src, dst = key.split("->")
+    return parse_coord(src), parse_coord(dst)
+
+
+def write_jsonl(path: Union[str, Path], header: dict,
+                rows: Iterable[dict]) -> int:
+    """Write a header line followed by one JSON object per row; returns the
+    number of data rows written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: Union[str, Path]) -> Tuple[dict, List[dict]]:
+    """Read a telemetry JSONL file back: (header, rows)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = [json.loads(line) for line in fh if line.strip()]
+    if not lines:
+        raise ValueError(f"empty telemetry file: {path}")
+    header, rows = lines[0], lines[1:]
+    if "schema" not in header:
+        raise ValueError(f"not a telemetry file (no schema header): {path}")
+    return header, rows
+
+
+def write_csv(path: Union[str, Path], rows: List[dict]) -> List[str]:
+    """Flatten rows to CSV keeping scalar columns only (nested per-node
+    maps stay in the JSONL); returns the column names written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns: List[str] = []
+    for row in rows:
+        for key, value in row.items():
+            if isinstance(value, (str, int, float, bool)) \
+                    and key not in columns:
+                columns.append(key)
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k, "") for k in columns})
+    return columns

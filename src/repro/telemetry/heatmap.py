@@ -1,0 +1,84 @@
+"""Text heatmaps of the mesh.
+
+Two renderers cover the paper's spatial analyses:
+
+* :func:`render_node_heatmap` — one value per node (injection/ejection
+  rates, Figure 8's per-node injection distribution).
+* :func:`render_link_heatmap` — one value per directed mesh link, shown as
+  four directional grids (E/W/N/S), which makes the top/bottom-row
+  hot-spots of the baseline MC placement directly visible.
+
+Cells print the numeric value plus a shade character (`` .:-=+*#%@``)
+scaled to the grid's peak, so the picture reads at a glance while the
+numbers stay exact.  The output format is schema-stable (pinned by tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..noc.topology import Coord, Direction
+
+#: Shade ramp from idle to peak.
+SHADES = " .:-=+*#%@"
+
+#: Offsets of each direction's outgoing link.
+_DIR_DELTA = {
+    Direction.EAST: (1, 0),
+    Direction.WEST: (-1, 0),
+    Direction.NORTH: (0, -1),
+    Direction.SOUTH: (0, 1),
+}
+
+
+def _shade(value: float, peak: float) -> str:
+    if peak <= 0.0 or value <= 0.0:
+        return SHADES[0]
+    index = int(value / peak * (len(SHADES) - 1) + 0.5)
+    return SHADES[min(index, len(SHADES) - 1)]
+
+
+def _grid(cols: int, rows: int, cell) -> str:
+    """Render one grid; ``cell(x, y)`` returns the 8-char cell text."""
+    header = "     " + "".join(f"{x:>7d} " for x in range(cols))
+    lines = [header]
+    for y in range(rows):
+        lines.append(f" y{y:<2d} " + "".join(cell(x, y)
+                                             for x in range(cols)))
+    return "\n".join(lines)
+
+
+def render_node_heatmap(cols: int, rows: int,
+                        values: Dict[Coord, float], title: str) -> str:
+    """One grid, one value per node."""
+    peak = max(values.values(), default=0.0)
+
+    def cell(x: int, y: int) -> str:
+        value = values.get(Coord(x, y), 0.0)
+        return f"{value:7.3f}{_shade(value, peak)}"
+
+    return f"{title} (peak {peak:.4f})\n{_grid(cols, rows, cell)}"
+
+
+def render_link_heatmap(cols: int, rows: int,
+                        utilization: Dict[Tuple[Coord, Coord], float],
+                        title: str) -> str:
+    """Four directional grids; cell (x, y) shows the utilization of the
+    link leaving node (x, y) in that direction (``-`` where the mesh has
+    no such link)."""
+    peak = max(utilization.values(), default=0.0)
+    sections = [f"{title} (peak {peak:.4f})"]
+    for direction in (Direction.EAST, Direction.WEST,
+                      Direction.NORTH, Direction.SOUTH):
+        dx, dy = _DIR_DELTA[direction]
+
+        def cell(x: int, y: int) -> str:
+            nx, ny = x + dx, y + dy
+            if not (0 <= nx < cols and 0 <= ny < rows):
+                return f"{'-':>7s} "
+            value = utilization.get((Coord(x, y), Coord(nx, ny)), 0.0)
+            return f"{value:7.3f}{_shade(value, peak)}"
+
+        sections.append(f"[{direction.name}]")
+        sections.append(_grid(cols, rows, cell))
+    return "\n".join(sections)
