@@ -1,56 +1,61 @@
 #!/usr/bin/env python3
-"""Design-space exploration (Figure 2): walk the paper's NoC design points,
-simulate a benchmark mix closed-loop on each, and rank the designs by
-throughput-effectiveness (IPC/mm²).
+"""Design-space exploration (Figure 2): rank the paper's NoC design points
+by throughput-effectiveness (IPC/mm²) via the :mod:`repro.dse` engine.
 
-Run:  python examples/design_space_exploration.py [--full]
+Run:  python examples/design_space_exploration.py [--full] [--jobs N]
 
-By default a representative 9-benchmark mix (3 per class) keeps the run
-under a couple of minutes; --full uses all 31 benchmarks of Table I.
+By default the ``figure2`` preset evaluates the seven named designs on a
+representative 9-benchmark mix (3 per class) closed-loop; --full uses all
+31 benchmarks of Table I.  --jobs fans the (design x benchmark) grid out
+over worker processes through repro.parallel — results are bit-identical
+to the serial run — and --cache reuses finished simulations on re-runs.
 """
 
-import sys
+import argparse
+import dataclasses
 
-from repro.area.chip import compute_area_mm2, design_noc_area
-from repro.core.builder import (BASELINE, CP_CR, CP_DOR, DOUBLE_BW,
-                                DOUBLE_CP_CR, ONE_CYCLE,
-                                THROUGHPUT_EFFECTIVE)
-from repro.system.accelerator import build_chip, perfect_chip
-from repro.system.metrics import harmonic_mean
-from repro.workloads.profiles import PROFILES, profile
-
-QUICK_MIX = ("AES", "HSP", "SLA", "CON", "BLK", "TRA", "RD", "MUM", "KM")
-DESIGNS = (BASELINE, ONE_CYCLE, DOUBLE_BW, CP_DOR, CP_CR, DOUBLE_CP_CR,
-           THROUGHPUT_EFFECTIVE)
+from repro.dse import FULL_MIX, explore, figure2
+from repro.parallel import log_progress
 
 
 def main() -> None:
-    full = "--full" in sys.argv
-    profiles = list(PROFILES) if full else [profile(a) for a in QUICK_MIX]
-    print(f"evaluating {len(DESIGNS)} designs on {len(profiles)} benchmarks "
-          "(closed loop)\n")
+    parser = argparse.ArgumentParser(
+        description="Figure 2 design-space walk on the repro.dse engine")
+    parser.add_argument("--full", action="store_true",
+                        help="all 31 benchmarks of Table I (default: the "
+                             "representative 9-benchmark mix)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS or 1)")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="on-disk result cache directory")
+    parser.add_argument("--progress", action="store_true",
+                        help="per-task wall-clock progress on stderr")
+    args = parser.parse_args()
 
-    rows = []
-    for design in DESIGNS:
-        ipcs = [build_chip(p, design=design).run(400, 1000).ipc
-                for p in profiles]
-        hm = harmonic_mean(ipcs)
-        area = design_noc_area(design).total_chip
-        rows.append((design.name, hm, area, hm / area))
-    ideal = harmonic_mean([perfect_chip(p).run(400, 1000).ipc
-                           for p in profiles])
-    rows.append(("Ideal-NoC", ideal, compute_area_mm2(),
-                 ideal / compute_area_mm2()))
+    spec = figure2()
+    if args.full:
+        spec = dataclasses.replace(spec, mix=FULL_MIX)
+    print(f"evaluating {spec.space.size()} designs on {len(spec.mix)} "
+          "benchmarks (closed loop)\n")
+    result = explore(spec, jobs=args.jobs, cache=args.cache,
+                     progress=log_progress if args.progress else None)
 
-    base_te = rows[0][3]
+    base_te = result["TB-DOR"].throughput_effectiveness
     print(f"{'design':22s} {'HM IPC':>8s} {'chip mm2':>9s} "
           f"{'IPC/mm2':>8s} {'vs baseline':>12s}")
-    for name, hm, area, te in sorted(rows, key=lambda r: -r[3]):
-        print(f"{name:22s} {hm:8.1f} {area:9.1f} {te:8.4f} "
-              f"{te / base_te - 1:+11.1%}")
-    print("\nreading the table: designs above the baseline row are "
+    for name in result.ranking:
+        c = result[name]
+        print(f"{name:22s} {c.hm_ipc:8.1f} {c.chip_area_mm2:9.1f} "
+              f"{c.throughput_effectiveness:8.4f} "
+              f"{c.throughput_effectiveness / base_te - 1:+11.1%}")
+
+    print(f"\nPareto frontier (HM IPC vs NoC mm2): "
+          f"{', '.join(result.frontier)}")
+    print("reading the table: designs above the TB-DOR row are "
           "throughput-effective improvements; '2x-TB-DOR' buys IPC with "
-          "disproportionate area, 'TB-DOR-1cyc' buys latency nobody needs.")
+          "disproportionate area, 'TB-DOR-1cyc' buys latency nobody "
+          "needs.  `python -m repro explore --preset extended` searches "
+          "beyond the paper's seven points.")
 
 
 if __name__ == "__main__":

@@ -16,6 +16,8 @@ The package is organised as one subpackage per subsystem:
   the bandwidth limit study.
 * :mod:`repro.area` — ORION-calibrated area model and the
   throughput-effectiveness (IPC/mm²) metric.
+* :mod:`repro.dse` — design-space exploration: constrained search over
+  the design axes, multi-fidelity evaluation, Pareto frontier.
 
 Quickstart::
 
@@ -30,9 +32,9 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import (area, core, experiments, gpu, mem, noc, system,
+from . import (area, core, dse, experiments, gpu, mem, noc, system,
                telemetry, workloads)
 
-__all__ = ["area", "core", "experiments", "gpu", "mem", "noc", "system",
-           "telemetry", "workloads",
+__all__ = ["area", "core", "dse", "experiments", "gpu", "mem", "noc",
+           "system", "telemetry", "workloads",
            "__version__"]

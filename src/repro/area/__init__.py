@@ -1,14 +1,16 @@
 """ORION-calibrated area model and throughput-effectiveness metric."""
 
 from .chip import (GTX280_AREA_MM2, NocArea, baseline_noc_area,
-                   compute_area_mm2, design_noc_area,
-                   throughput_effectiveness, throughput_effectiveness_gain)
+                   compute_area_mm2, design_chip_area_mm2, design_noc_area,
+                   scaled_compute_area_mm2, throughput_effectiveness,
+                   throughput_effectiveness_gain)
 from .orion import (RouterArea, crossbar_units, link_area, mesh_link_count,
                     router_area)
 
 __all__ = [
     "GTX280_AREA_MM2", "NocArea", "RouterArea", "baseline_noc_area",
-    "compute_area_mm2", "crossbar_units", "design_noc_area", "link_area",
-    "mesh_link_count", "router_area", "throughput_effectiveness",
-    "throughput_effectiveness_gain",
+    "compute_area_mm2", "crossbar_units", "design_chip_area_mm2",
+    "design_noc_area", "link_area",
+    "mesh_link_count", "router_area", "scaled_compute_area_mm2",
+    "throughput_effectiveness", "throughput_effectiveness_gain",
 ]

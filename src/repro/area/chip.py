@@ -115,6 +115,31 @@ def compute_area_mm2(mesh: Optional[Mesh] = None) -> float:
     return GTX280_AREA_MM2 - baseline_noc_area(mesh).noc_total
 
 
+def scaled_compute_area_mm2(mesh: Mesh) -> float:
+    """Compute area of a scaled machine: the GTX280's per-tile compute area
+    (the 6x6 anchor divided by its 36 tiles) times the tile count.
+
+    For the paper's 6x6 mesh this is exactly :func:`compute_area_mm2`; the
+    design-space exploration engine uses it to keep throughput-
+    effectiveness comparable when a mesh-size axis grows the machine."""
+    return compute_area_mm2() / 36.0 * mesh.num_nodes
+
+
+def design_chip_area_mm2(design: NetworkDesign,
+                         mesh: Optional[Mesh] = None,
+                         num_mcs: int = 8) -> float:
+    """Total chip area (compute + NoC) of ``design`` on ``mesh``.
+
+    The single entry point the exploration engine ranks throughput-
+    effectiveness against: on the default 6x6 mesh it equals
+    ``design_noc_area(design).total_chip``; on other meshes the compute
+    area scales per tile (:func:`scaled_compute_area_mm2`)."""
+    mesh = mesh if mesh is not None else Mesh(6, 6)
+    return design_noc_area(design, mesh, num_mcs,
+                           compute_area=scaled_compute_area_mm2(mesh)
+                           ).total_chip
+
+
 def throughput_effectiveness(ipc: float, total_chip_area: float) -> float:
     """The paper's figure of merit: IPC per mm²."""
     if total_chip_area <= 0:

@@ -7,6 +7,7 @@ Usage::
     python -m repro compare --benchmark RD --designs TB-DOR,CP-CR-4VC
     python -m repro area
     python -m repro sweep --design TB-DOR --rates 0.01,0.03,0.05
+    python -m repro explore --preset figure2 --jobs 4 --out results/figure2
     python -m repro run --benchmark RD --trace --sample-interval 100 \
         --telemetry-out out/rd
     python -m repro report out/rd --heatmaps
@@ -18,6 +19,7 @@ obtained programmatically (see examples/).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import functools
 import json
 import sys
@@ -33,6 +35,15 @@ from .system.accelerator import build_chip, perfect_chip
 from .telemetry import (COMPONENTS, TelemetryHub, TelemetrySpec, read_jsonl,
                         render_summary_heatmaps)
 from .workloads.profiles import PROFILES, profile
+
+
+def _design(name: str):
+    """Design lookup that turns the unknown-name KeyError (which carries
+    the did-you-mean hint) into a clean CLI error instead of a traceback."""
+    try:
+        return design_by_name(name)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
 
 
 def _cmd_list(_args) -> int:
@@ -148,7 +159,7 @@ def _cmd_run(args) -> int:
                   file=sys.stderr)
         chip = perfect_chip(prof, seed=args.seed)
     else:
-        design = _apply_checks(design_by_name(args.design), args)
+        design = _apply_checks(_design(args.design), args)
         chip = build_chip(prof, design=design, seed=args.seed)
     spec = _telemetry_spec(args)
     hub = None
@@ -175,7 +186,7 @@ def _cmd_compare(args) -> int:
     names = [n.strip() for n in args.designs.split(",")]
     telemetry = _task_telemetry(args)
     comparison = compare_designs(
-        [_apply_checks(design_by_name(n), args) for n in names],
+        [_apply_checks(_design(n), args) for n in names],
         profiles=[prof],
         warmup=args.warmup, measure=args.measure, seed=args.seed,
         jobs=args.jobs, cache=args.cache,
@@ -201,14 +212,14 @@ def _cmd_area(args) -> int:
     print(f"{'design':26s} {'routers':>8s} {'links':>7s} {'NoC %':>7s} "
           f"{'chip mm2':>9s}")
     for name in names:
-        a = design_noc_area(design_by_name(name))
+        a = design_noc_area(_design(name))
         print(f"{name:26s} {a.router_sum:8.2f} {a.link_sum:7.2f} "
               f"{a.overhead_fraction:7.2%} {a.total_chip:9.2f}")
     return 0
 
 
 def _cmd_sweep(args) -> int:
-    design = _apply_checks(design_by_name(args.design), args)
+    design = _apply_checks(_design(args.design), args)
     rates = [float(r) for r in args.rates.split(",")]
     if args.hotspot:
         pattern_name = "hotspot"
@@ -235,6 +246,61 @@ def _cmd_sweep(args) -> int:
     if telemetry is not None:
         print(f"telemetry artifacts under {telemetry.out_dir} "
               f"(one directory per task; see `repro report`)")
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    """Design-space exploration (`repro explore --preset figure2`)."""
+    from . import dse
+    try:
+        spec = dse.preset(args.preset)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+    if args.seed is not None:
+        spec = dataclasses.replace(spec, seed=args.seed)
+
+    raw = spec.space.size()
+    print(f"exploring preset '{spec.name}': {raw} raw points, "
+          f"mix {','.join(spec.mix)}, seed {spec.seed} "
+          f"({spec.seed_policy})")
+    result = dse.explore(spec, jobs=args.jobs, cache=args.cache,
+                         progress=log_progress if args.progress else None)
+
+    if result.rejected:
+        rules: dict = {}
+        for point in result.rejected:
+            for violation in point["violations"]:
+                rules[violation["rule"]] = rules.get(violation["rule"],
+                                                     0) + 1
+        hist = "  ".join(f"{rule} x{n}" for rule, n in sorted(
+            rules.items(), key=lambda kv: (-kv[1], kv[0])))
+        print(f"rejected {len(result.rejected)} illegal points up front: "
+              f"{hist}")
+    host = result.host or {}
+    for stage in host.get("stages", []):
+        print(f"  {stage['stage']:8s} {stage['evaluated']:3d} -> "
+              f"{stage['kept']:3d} kept   {stage['tasks']} tasks "
+              f"({stage['executed']} run, {stage['cached']} cached, "
+              f"{stage['seconds']:.1f}s)")
+
+    print(f"\n{'rank':>4s} {'design':26s} {'fidelity':9s} {'HM IPC':>8s} "
+          f"{'NoC mm2':>8s} {'chip mm2':>9s} {'IPC/mm2':>8s} {'Pareto':>7s}")
+    for rank, name in enumerate(result.ranking, start=1):
+        c = result[name]
+        hm = f"{c.hm_ipc:8.1f}" if c.hm_ipc is not None else f"{'-':>8s}"
+        te = (f"{c.throughput_effectiveness:8.4f}"
+              if c.throughput_effectiveness is not None else f"{'-':>8s}")
+        mark = "*" if c.on_frontier else ""
+        print(f"{rank:4d} {name:26s} {c.fidelity:9s} {hm} "
+              f"{c.noc_area_mm2:8.2f} {c.chip_area_mm2:9.1f} {te} "
+              f"{mark:>7s}")
+    print(f"\nPareto frontier (HM IPC vs NoC mm2): "
+          f"{', '.join(result.frontier) or '(none)'}")
+
+    if args.out:
+        written = result.write_artifacts(args.out)
+        for name in sorted(written):
+            print(f"wrote {name:17s} {written[name]}")
     return 0
 
 
@@ -385,6 +451,19 @@ def make_parser() -> argparse.ArgumentParser:
     telemetry_args(sweep)
     parallel_args(sweep)
 
+    explore = sub.add_parser(
+        "explore", help="design-space exploration (screen/halve/confirm)")
+    explore.add_argument("--preset", default="smoke",
+                         help="figure2 | smoke | extended (default: smoke)")
+    explore.add_argument("--out", default=None, metavar="DIR",
+                         help="write exploration.json / candidates.csv / "
+                              "frontier.csv / host.json under DIR")
+    explore.add_argument("--cache", default=None, metavar="DIR",
+                         help="on-disk result cache directory")
+    explore.add_argument("--seed", type=int, default=None,
+                         help="override the preset's base seed")
+    parallel_args(explore)
+
     report = sub.add_parser(
         "report", help="inspect a telemetry artifact directory")
     report.add_argument("dir", help="directory holding summary.json "
@@ -404,6 +483,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "area": _cmd_area,
     "sweep": _cmd_sweep,
+    "explore": _cmd_explore,
     "report": _cmd_report,
 }
 

@@ -10,9 +10,12 @@
 from .builder import (BASELINE, CP_CR, CP_DOR, CP_DOR_4VC, CP_ROMM,
                       DOUBLE_BW,
                       DOUBLE_CP_CR, DOUBLE_CP_CR_2E, DOUBLE_CP_CR_2P,
-                      DOUBLE_CP_CR_2P2E, DOUBLE_CP_CR_DEDICATED, NAMED_DESIGNS, ONE_CYCLE,
-                      THROUGHPUT_EFFECTIVE, NetworkDesign, NetworkSystem,
-                      build, design_by_name, mc_placement, open_loop_variant)
+                      DOUBLE_CP_CR_2P2E, DOUBLE_CP_CR_DEDICATED,
+                      MATERIALIZABLE_FIELDS, NAMED_DESIGNS, ONE_CYCLE,
+                      THROUGHPUT_EFFECTIVE, ConstraintViolation,
+                      NetworkDesign, NetworkSystem, build, design_by_name,
+                      design_constraint_violations, materialize_design,
+                      mc_placement, open_loop_variant)
 from .checkerboard_routing import (CheckerboardRouting, RouteCase,
                                    TracedRoute, UnroutableError, classify,
                                    intermediate_candidates, is_half_router,
@@ -29,12 +32,14 @@ __all__ = [
     "CrossbarShape", "DEFAULT_CHECKERBOARD_6X6", "DOUBLE_BW",
     "DOUBLE_CP_CR", "DOUBLE_CP_CR_2E", "DOUBLE_CP_CR_2P",
     "DOUBLE_CP_CR_2P2E", "DOUBLE_CP_CR_DEDICATED", "HALF_ROUTER_PARITY",
-    "NAMED_DESIGNS",
+    "MATERIALIZABLE_FIELDS", "ConstraintViolation", "NAMED_DESIGNS",
     "NetworkDesign", "NetworkSystem", "ONE_CYCLE", "RouteCase",
     "THROUGHPUT_EFFECTIVE", "TracedRoute", "UnroutableError", "build",
     "checkerboard_placement", "classify", "compute_nodes",
-    "crossbar_shape", "design_by_name", "intermediate_candidates",
-    "is_half_router", "mc_placement", "random_checkerboard_placements",
+    "crossbar_shape", "design_by_name", "design_constraint_violations",
+    "intermediate_candidates",
+    "is_half_router", "materialize_design", "mc_placement",
+    "random_checkerboard_placements",
     "open_loop_variant", "top_bottom_placement", "trace_route",
     "validate_checkerboard_placement",
 ]

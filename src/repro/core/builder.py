@@ -11,8 +11,10 @@ interface the closed-loop simulator and open-loop harness drive.
 
 from __future__ import annotations
 
+import dataclasses
+import difflib
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..noc.invariants import (DeadlockError, audit_system,
                               format_system_state)
@@ -66,29 +68,199 @@ class NetworkDesign:
     watchdog_cycles: int = 0
 
     def validate(self) -> None:
-        if self.routing == "cr":
-            if not self.half_routers:
-                raise ValueError("checkerboard routing implies half-routers")
-            if self.vcs_per_class < 2:
-                raise ValueError("CR needs 2 routing VCs per class (XY/YX)")
-        if self.routing == "romm":
-            if self.half_routers:
-                raise ValueError(
-                    "ROMM turns anywhere and needs full routers")
-            if self.vcs_per_class < 2:
-                raise ValueError("ROMM needs one routing VC per phase")
-        if self.half_routers and self.placement != "checkerboard":
-            raise ValueError(
+        """Raise ``ValueError`` on the first constraint violation.
+
+        The full rule set (with stable rule names, used by the design-space
+        exploration engine to reject illegal points up front) lives in
+        :func:`design_constraint_violations`.
+        """
+        violations = design_constraint_violations(self)
+        if violations:
+            raise ValueError(violations[0].reason)
+
+
+@dataclass(frozen=True)
+class ConstraintViolation:
+    """One violated design-legality rule.
+
+    ``rule`` is a stable kebab-case identifier (safe to match on in tests
+    and exploration artifacts); ``reason`` is the human-readable message
+    :meth:`NetworkDesign.validate` raises.
+    """
+
+    rule: str
+    reason: str
+
+
+def design_constraint_violations(design: NetworkDesign,
+                                 mesh: Optional[Mesh] = None,
+                                 num_mcs: int = 8
+                                 ) -> List[ConstraintViolation]:
+    """Every constraint ``design`` violates, each with a named rule.
+
+    With ``mesh`` given, placement feasibility on that mesh is checked too
+    (MC capacity, half-router neighborhoods, explicit ``mc_coords``).  The
+    design-space exploration engine runs this pass over a whole candidate
+    space so illegal axis combinations are rejected up front — with a
+    reason — instead of failing (or deadlocking) mid-simulation.
+    """
+    v: List[ConstraintViolation] = []
+
+    def bad(rule: str, reason: str) -> None:
+        v.append(ConstraintViolation(rule, reason))
+
+    if design.placement not in ("top_bottom", "checkerboard"):
+        bad("unknown-placement", f"unknown placement {design.placement!r}")
+    if design.routing not in ("dor", "dor_yx", "cr", "romm"):
+        bad("unknown-routing", f"unknown routing {design.routing!r}")
+    if design.slice_mode not in ("dedicated", "balanced"):
+        bad("unknown-slice-mode", f"unknown slice mode {design.slice_mode!r}")
+    if design.cr_intermediate not in ("random", "first"):
+        bad("unknown-cr-intermediate",
+            f"unknown CR intermediate policy {design.cr_intermediate!r}")
+
+    if design.routing == "cr":
+        if not design.half_routers:
+            bad("cr-requires-half-routers",
+                "checkerboard routing implies half-routers")
+        if design.vcs_per_class < 2:
+            bad("cr-needs-two-routing-vcs",
+                "CR needs 2 routing VCs per class (XY/YX)")
+    if design.routing == "romm":
+        if design.half_routers:
+            bad("romm-needs-full-routers",
+                "ROMM turns anywhere and needs full routers")
+        if design.vcs_per_class < 2:
+            bad("romm-needs-two-routing-vcs",
+                "ROMM needs one routing VC per phase")
+    if design.half_routers:
+        if design.placement != "checkerboard":
+            bad("half-routers-need-checkerboard-placement",
                 "half-routers require MCs on half-router tiles, i.e. the "
                 "checkerboard placement")
-        if self.double_network and self.channel_width % 2:
-            raise ValueError("channel slicing halves the channel width")
-        if self.slice_mode not in ("dedicated", "balanced"):
-            raise ValueError(f"unknown slice mode {self.slice_mode!r}")
-        if self.placement not in ("top_bottom", "checkerboard"):
-            raise ValueError(f"unknown placement {self.placement!r}")
-        if self.routing not in ("dor", "dor_yx", "cr", "romm"):
-            raise ValueError(f"unknown routing {self.routing!r}")
+        if design.routing in ("dor", "dor_yx"):
+            bad("half-routers-need-checkerboard-routing",
+                "half-routers only pass traffic straight through; DOR "
+                "turns at arbitrary tiles would strand packets at "
+                "half-routers — use checkerboard routing (cr)")
+    if design.double_network and design.channel_width % 2:
+        bad("slicing-needs-even-channel-width",
+            "channel slicing halves the channel width")
+
+    min_width = 2 if design.double_network else 1
+    if design.channel_width < min_width:
+        bad("positive-channel-width",
+            f"channel width must cover every slice, got "
+            f"{design.channel_width}")
+    if design.vcs_per_class < 1:
+        bad("positive-vc-count",
+            f"need at least one VC per class, got {design.vcs_per_class}")
+    if design.vc_buffer_depth < 1:
+        bad("positive-vc-buffer-depth",
+            f"VC buffers need at least one flit slot, got "
+            f"{design.vc_buffer_depth}")
+    if design.mc_inject_ports < 1 or design.mc_eject_ports < 1:
+        bad("positive-mc-ports",
+            "MC routers need at least one injection and one ejection port")
+    if design.router_latency < 1 or design.half_router_latency < 1:
+        bad("positive-router-latency",
+            "router pipelines need at least one stage")
+    if design.channel_latency < 0:
+        bad("non-negative-channel-latency",
+            "channel latency cannot be negative")
+    if design.source_queue_flits is not None \
+            and design.source_queue_flits < 1:
+        bad("positive-source-queue",
+            "bounded source queues need at least one flit slot")
+
+    if mesh is not None:
+        v.extend(_placement_violations(design, mesh, num_mcs))
+    return v
+
+
+def _placement_violations(design: NetworkDesign, mesh: Mesh,
+                          num_mcs: int) -> List[ConstraintViolation]:
+    """Mesh-dependent feasibility rules (placement capacity, half-router
+    neighborhoods, explicit MC coordinate overrides)."""
+    v: List[ConstraintViolation] = []
+    half_tiles = [c for c in mesh.coords()
+                  if c.parity() == HALF_ROUTER_PARITY]
+    if mesh.num_nodes <= num_mcs:
+        v.append(ConstraintViolation(
+            "mesh-too-small-for-cores",
+            f"{mesh.cols}x{mesh.rows} mesh has no compute tiles left "
+            f"after placing {num_mcs} MCs"))
+    if design.mc_coords is not None:
+        seen = set()
+        for mc in design.mc_coords:
+            if not mesh.contains(mc):
+                v.append(ConstraintViolation(
+                    "mc-outside-mesh", f"MC {mc} outside the mesh"))
+            elif design.half_routers \
+                    and mc.parity() != HALF_ROUTER_PARITY:
+                v.append(ConstraintViolation(
+                    "mc-on-full-router-tile",
+                    f"MC {mc} is on a full-router tile; checkerboard "
+                    "requires MCs (and L2 banks) at half-router tiles"))
+            if mc in seen:
+                v.append(ConstraintViolation(
+                    "duplicate-mc", f"duplicate MC placement {mc}"))
+            seen.add(mc)
+    elif design.placement == "checkerboard":
+        if num_mcs > len(half_tiles):
+            v.append(ConstraintViolation(
+                "checkerboard-placement-capacity",
+                f"not enough half-router tiles for the MCs "
+                f"({num_mcs} MCs, {len(half_tiles)} tiles)"))
+    else:
+        per_row, remainder = divmod(num_mcs, 2)
+        if per_row + remainder > mesh.cols:
+            v.append(ConstraintViolation(
+                "top-bottom-placement-capacity",
+                f"too many MCs for the top/bottom rows "
+                f"({num_mcs} MCs, {mesh.cols} columns)"))
+    if design.half_routers:
+        stranded = [c for c in half_tiles
+                    if not any(n.parity() != HALF_ROUTER_PARITY
+                               for _, n in mesh.neighbors(c))]
+        if stranded:
+            v.append(ConstraintViolation(
+                "half-router-neighborhood",
+                f"half-router tiles {stranded} have no full-router "
+                "neighbor; every half-router needs a legal full-router "
+                "neighborhood to turn through"))
+    return v
+
+
+#: ``NetworkDesign`` fields a search space may enumerate over.
+MATERIALIZABLE_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(NetworkDesign) if f.name != "name")
+
+
+def materialize_design(name: str, base: Optional[NetworkDesign] = None,
+                       **overrides: Any) -> NetworkDesign:
+    """Materialize one design point from a base design plus field overrides.
+
+    This is the space→design step of the exploration engine: ``overrides``
+    are checked against the :class:`NetworkDesign` schema (unknown fields
+    raise immediately, with a did-you-mean suggestion) but the result is
+    *not* validated — run :func:`design_constraint_violations` on it, so an
+    illegal point is reported with named reasons rather than an exception.
+    """
+    base = base if base is not None else BASELINE
+    unknown = sorted(set(overrides) - MATERIALIZABLE_FIELDS)
+    if unknown:
+        hint = _did_you_mean(unknown[0], MATERIALIZABLE_FIELDS)
+        raise TypeError(
+            f"unknown NetworkDesign field(s) {unknown};{hint} "
+            f"materializable: {sorted(MATERIALIZABLE_FIELDS)}")
+    return replace(base, name=name, **overrides)
+
+
+def _did_you_mean(name: str, known) -> str:
+    """`` did you mean 'x'?`` hint (empty when nothing is close)."""
+    matches = difflib.get_close_matches(name, list(known), n=1, cutoff=0.5)
+    return f" did you mean {matches[0]!r}?" if matches else ""
 
 
 class NetworkSystem:
@@ -335,10 +507,15 @@ def checked_variant(design: NetworkDesign, check_interval: int = 64,
 
 
 def design_by_name(name: str) -> NetworkDesign:
-    """Look up one of the named design points (Table V abbreviations)."""
+    """Look up one of the named design points (Table V abbreviations).
+
+    An unknown name raises ``KeyError`` with a closest-match "did you
+    mean?" suggestion, so a CLI typo points at the intended design."""
     try:
         return NAMED_DESIGNS[name]
     except KeyError:
+        hint = _did_you_mean(name, NAMED_DESIGNS)
         raise KeyError(
-            f"unknown design {name!r}; known: {sorted(NAMED_DESIGNS)}"
+            f"unknown design {name!r};{hint} "
+            f"known: {sorted(NAMED_DESIGNS)}"
         ) from None

@@ -1,0 +1,78 @@
+"""Exact Pareto frontier over (throughput, area).
+
+The paper's Figure 2 is a two-objective trade-off: maximize harmonic-mean
+IPC, minimize chip area (the ratio being throughput-effectiveness).  This
+module computes the exact non-dominated frontier of a finite point set,
+with deterministic tie handling and per-point dominated-by bookkeeping —
+the properties pinned by ``tests/test_dse_pareto.py``:
+
+* no frontier member is dominated by any point;
+* every non-frontier point is dominated by some frontier member (its
+  recorded ``dominated_by``);
+* points with identical objectives are all on the frontier;
+* the result is independent of input order (points are keyed by name).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate in objective space: ``ipc`` is maximized, ``area``
+    minimized."""
+
+    name: str
+    ipc: float
+    area: float
+
+
+def dominates(a: ParetoPoint, b: ParetoPoint) -> bool:
+    """True when ``a`` is at least as good as ``b`` on both objectives and
+    strictly better on at least one."""
+    return (a.ipc >= b.ipc and a.area <= b.area
+            and (a.ipc > b.ipc or a.area < b.area))
+
+
+def _strength(point: ParetoPoint) -> Tuple[float, float, str]:
+    """Deterministic total order: higher IPC first, then smaller area,
+    then name (the tie-breaker that keeps results stable)."""
+    return (-point.ipc, point.area, point.name)
+
+
+@dataclass(frozen=True)
+class ParetoResult:
+    """Frontier membership and dominance bookkeeping for one point set."""
+
+    #: Frontier member names, strongest first (by IPC desc, area asc, name).
+    frontier: Tuple[str, ...]
+    #: For every dominated point: the strongest frontier member that
+    #: dominates it.  Frontier members are absent from this mapping.
+    dominated_by: Dict[str, str]
+
+
+def pareto_frontier(points: Sequence[ParetoPoint]) -> ParetoResult:
+    """Exact frontier of ``points`` (exhaustive pairwise check; spaces are
+    at most a few hundred points, so clarity beats an O(n log n) sweep).
+
+    Point names must be unique — they are the keys the exploration result
+    uses for bookkeeping."""
+    names = [p.name for p in points]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(f"duplicate point names {dupes}")
+    ordered = sorted(points, key=_strength)
+    frontier: List[str] = []
+    dominated_by: Dict[str, str] = {}
+    for point in ordered:
+        # The strongest dominator ranks before `point` in `ordered`: it has
+        # IPC >= point's, and among those the sort puts small areas first.
+        dominator = next((other for other in ordered
+                          if dominates(other, point)), None)
+        if dominator is None:
+            frontier.append(point.name)
+        else:
+            dominated_by[point.name] = dominator.name
+    return ParetoResult(tuple(frontier), dominated_by)

@@ -1,0 +1,135 @@
+"""Canonical explorations: ``figure2``, ``smoke`` and ``extended``.
+
+* ``figure2`` replays the paper's Figure 2 walk exactly: the seven named
+  design points, no screening or halving, full-window closed-loop runs on
+  the representative nine-benchmark mix with the fixed seed the original
+  ``examples/design_space_exploration.py`` used — so its throughput-
+  effectiveness ordering is number-for-number the one the example printed.
+* ``smoke`` is a tiny constrained space (placement × routing × VCs ×
+  buffer depth) sized for CI: the full ladder — open-loop screen, one
+  halving round, confirm — in well under a minute serial.
+* ``extended`` sweeps beyond the paper's points (routing algorithms,
+  channel widths, double networks, MC injection ports): hundreds of raw
+  points, roughly a third rejected by the constraint pass up front.  Run
+  it with ``--jobs`` and a warm cache; it is never run implicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.builder import (BASELINE, CP_CR, CP_DOR, DOUBLE_BW,
+                            DOUBLE_CP_CR, ONE_CYCLE, THROUGHPUT_EFFECTIVE,
+                            _did_you_mean)
+from ..workloads.profiles import PROFILES, QUICK_MIX
+from .engine import ExplorationSpec, FidelityLadder
+from .space import Axis, SearchSpace
+
+#: The paper's seven Figure 2 design points, in the head example's order.
+FIGURE2_DESIGNS = (BASELINE, ONE_CYCLE, DOUBLE_BW, CP_DOR, CP_CR,
+                   DOUBLE_CP_CR, THROUGHPUT_EFFECTIVE)
+
+FULL_MIX: Tuple[str, ...] = tuple(p.abbr for p in PROFILES)
+
+#: Small per-class mix for halving rounds (one LL, one LH, one HH point).
+ROUND_MIX: Tuple[str, ...] = ("RD", "HSP", "BLK")
+
+
+def figure2() -> ExplorationSpec:
+    """The paper's seven named designs, evaluated exactly as the original
+    example did: one fixed seed, full 400/1000-cycle windows, the
+    representative nine-benchmark mix, no screening or halving."""
+    return ExplorationSpec(
+        name="figure2",
+        space=SearchSpace(name="figure2", designs=FIGURE2_DESIGNS),
+        mix=QUICK_MIX,
+        round_mix=ROUND_MIX,
+        ladder=FidelityLadder(screen=False, halving_rounds=0,
+                              confirm_warmup=400, confirm_measure=1000,
+                              min_survivors=len(FIGURE2_DESIGNS)),
+        seed=11,
+        seed_policy="fixed",
+    )
+
+
+def smoke() -> ExplorationSpec:
+    """Tiny constrained exploration for CI and the DSE benchmark: 17 raw
+    points (16 axis combinations plus the named CP-CR-4VC), half of them
+    rejected up front by ``cr-requires-half-routers``."""
+    space = SearchSpace(
+        name="smoke",
+        axes=(
+            Axis("placement", ("top_bottom", "checkerboard")),
+            Axis("routing", ("dor", "cr")),
+            Axis("vcs_per_class", (1, 2)),
+            Axis("vc_buffer_depth", (4, 8)),
+        ),
+        designs=(CP_CR,),
+    )
+    return ExplorationSpec(
+        name="smoke",
+        space=space,
+        mix=ROUND_MIX,
+        round_mix=ROUND_MIX,
+        ladder=FidelityLadder(screen=True, screen_rate=0.35,
+                              screen_warmup=300, screen_measure=600,
+                              screen_keep=0.5, halving_rounds=1,
+                              round_warmup=100, round_measure=200,
+                              confirm_warmup=200, confirm_measure=400,
+                              min_survivors=3),
+        seed=11,
+        seed_policy="derived",
+    )
+
+
+def extended() -> ExplorationSpec:
+    """The space the paper argued about, beyond its seven points: 512 raw
+    axis combinations (placement × routing × half-routers × width × VCs ×
+    buffer depth × double network × MC injection ports), about a third
+    legal after the constraint pass.  Full ladder with two halving
+    rounds; budget minutes, not seconds, and use ``--jobs``."""
+    space = SearchSpace(
+        name="extended",
+        axes=(
+            Axis("placement", ("top_bottom", "checkerboard")),
+            Axis("routing", ("dor", "dor_yx", "cr", "romm")),
+            Axis("half_routers", (False, True)),
+            Axis("channel_width", (16, 32)),
+            Axis("vcs_per_class", (1, 2)),
+            Axis("vc_buffer_depth", (4, 8)),
+            Axis("double_network", (False, True)),
+            Axis("mc_inject_ports", (1, 2)),
+        ),
+    )
+    return ExplorationSpec(
+        name="extended",
+        space=space,
+        mix=QUICK_MIX,
+        round_mix=ROUND_MIX,
+        ladder=FidelityLadder(screen=True, screen_rate=0.35,
+                              screen_warmup=300, screen_measure=600,
+                              screen_keep=0.4, halving_rounds=2,
+                              round_warmup=100, round_measure=200,
+                              confirm_warmup=400, confirm_measure=1000,
+                              min_survivors=4),
+        seed=11,
+        seed_policy="derived",
+    )
+
+
+PRESETS: Dict[str, object] = {
+    "figure2": figure2,
+    "smoke": smoke,
+    "extended": extended,
+}
+
+
+def preset(name: str) -> ExplorationSpec:
+    """Look up a preset by name; unknown names get a did-you-mean hint."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        hint = _did_you_mean(name, PRESETS)
+        raise KeyError(f"unknown preset {name!r};{hint} known: "
+                       f"{sorted(PRESETS)}") from None
+    return factory()

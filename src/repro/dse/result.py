@@ -1,0 +1,225 @@
+"""Exploration results: ranking, frontier bookkeeping, pinned artifacts.
+
+An :class:`ExplorationResult` records every point of one exploration —
+constraint-rejected points with their named rules, evaluated candidates
+with their full fidelity-ladder history, the exact Pareto frontier over
+(harmonic-mean IPC, chip mm²), and the throughput-effectiveness ranking.
+``to_json`` round-trips exactly (``from_json`` gives field-for-field
+equality) and deliberately excludes host-side timing, so results are
+bit-identical across ``--jobs`` counts and cache states (golden-tested).
+
+Artifacts (``write_artifacts``) have pinned schemas:
+
+* ``exploration.json`` — the full result, ``{"schema": 1, ...}``;
+* ``candidates.csv`` / ``frontier.csv`` — fixed column order
+  (:data:`CSV_COLUMNS`) for spreadsheet/pandas consumption;
+* ``host.json`` — wall-clock, per-phase profile and cache tallies (the
+  only artifact that varies run to run).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: Bumped whenever the result payload layout changes, so downstream
+#: consumers (and the BENCH trajectory) never misread an old artifact.
+SCHEMA_VERSION = 1
+
+#: Pinned column order of ``candidates.csv`` and ``frontier.csv``.
+CSV_COLUMNS = (
+    "rank", "name", "fidelity", "hm_ipc", "throughput_effectiveness",
+    "chip_area_mm2", "noc_area_mm2", "on_frontier", "dominated_by",
+    "placement", "routing", "half_routers", "channel_width",
+    "vcs_per_class", "vc_buffer_depth", "double_network", "slice_mode",
+    "mc_inject_ports", "mc_eject_ports", "mesh",
+)
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """One candidate's result at one ladder stage."""
+
+    stage: str                   # "screen" | "round<N>" | "confirm"
+    metric: float                # the stage's ranking metric (see engine)
+    hm_ipc: Optional[float]      # None for the open-loop screen
+    rank: int                    # 1-based rank within the stage cohort
+    kept: bool                   # promoted to the next stage?
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "StageOutcome":
+        return cls(**data)
+
+
+@dataclass
+class CandidateResult:
+    """One evaluated design point with its full ladder history."""
+
+    name: str
+    design: dict                 # NetworkDesign as a plain dict
+    mesh: List[int]              # [cols, rows]
+    num_mcs: int
+    noc_area_mm2: float
+    chip_area_mm2: float
+    stages: List[StageOutcome]
+    fidelity: str                # highest stage reached
+    hm_ipc: Optional[float]      # at the highest closed-loop stage
+    throughput_effectiveness: Optional[float]   # hm_ipc / chip_area_mm2
+    on_frontier: bool = False
+    dominated_by: Optional[str] = None
+
+    def to_json(self) -> dict:
+        data = asdict(self)
+        data["stages"] = [s.to_json() for s in self.stages]
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CandidateResult":
+        data = dict(data)
+        data["stages"] = [StageOutcome.from_json(s)
+                          for s in data["stages"]]
+        return cls(**data)
+
+
+@dataclass
+class ExplorationResult:
+    """Everything one exploration produced (see module docstring)."""
+
+    preset: str
+    seed: int
+    seed_policy: str
+    mix: List[str]
+    round_mix: List[str]
+    candidates: List[CandidateResult]
+    #: ``{"name": ..., "violations": [{"rule": ..., "reason": ...}]}`` per
+    #: constraint-rejected point, in enumeration order.
+    rejected: List[dict]
+    #: Candidate names, best first: higher fidelity outranks lower, then
+    #: the stage metric, then name (deterministic ties).
+    ranking: List[str]
+    #: Pareto-frontier member names (IPC desc, area asc, name).
+    frontier: List[str]
+    #: Host-side stats (wall seconds, per-phase profile, cache tallies).
+    #: Deliberately NOT serialized by :meth:`to_json` — results must be
+    #: bit-identical across hosts, jobs counts and cache states.
+    host: Optional[dict] = field(default=None, compare=False)
+
+    def __getitem__(self, name: str) -> CandidateResult:
+        for candidate in self.candidates:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no candidate {name!r} in this exploration")
+
+    def to_json(self) -> dict:
+        """JSON-compatible dict; exact float round trip; no host stats."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "preset": self.preset,
+            "seed": self.seed,
+            "seed_policy": self.seed_policy,
+            "mix": list(self.mix),
+            "round_mix": list(self.round_mix),
+            "candidates": [c.to_json() for c in self.candidates],
+            "rejected": self.rejected,
+            "ranking": list(self.ranking),
+            "frontier": list(self.frontier),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ExplorationResult":
+        """Inverse of :meth:`to_json` with field-for-field equality."""
+        if data.get("schema") != SCHEMA_VERSION:
+            raise ValueError(f"exploration artifact schema "
+                             f"{data.get('schema')!r} != {SCHEMA_VERSION}")
+        return cls(
+            preset=data["preset"], seed=data["seed"],
+            seed_policy=data["seed_policy"], mix=list(data["mix"]),
+            round_mix=list(data["round_mix"]),
+            candidates=[CandidateResult.from_json(c)
+                        for c in data["candidates"]],
+            rejected=list(data["rejected"]),
+            ranking=list(data["ranking"]),
+            frontier=list(data["frontier"]),
+        )
+
+    # -- artifacts -----------------------------------------------------------
+
+    def _csv_row(self, candidate: CandidateResult) -> Dict[str, object]:
+        design = candidate.design
+        rank = (self.ranking.index(candidate.name) + 1
+                if candidate.name in self.ranking else "")
+        return {
+            "rank": rank,
+            "name": candidate.name,
+            "fidelity": candidate.fidelity,
+            "hm_ipc": ("" if candidate.hm_ipc is None
+                       else repr(candidate.hm_ipc)),
+            "throughput_effectiveness":
+                ("" if candidate.throughput_effectiveness is None
+                 else repr(candidate.throughput_effectiveness)),
+            "chip_area_mm2": repr(candidate.chip_area_mm2),
+            "noc_area_mm2": repr(candidate.noc_area_mm2),
+            "on_frontier": int(candidate.on_frontier),
+            "dominated_by": candidate.dominated_by or "",
+            "placement": design["placement"],
+            "routing": design["routing"],
+            "half_routers": int(design["half_routers"]),
+            "channel_width": design["channel_width"],
+            "vcs_per_class": design["vcs_per_class"],
+            "vc_buffer_depth": design["vc_buffer_depth"],
+            "double_network": int(design["double_network"]),
+            "slice_mode": design["slice_mode"],
+            "mc_inject_ports": design["mc_inject_ports"],
+            "mc_eject_ports": design["mc_eject_ports"],
+            "mesh": f"{candidate.mesh[0]}x{candidate.mesh[1]}",
+        }
+
+    def _write_csv(self, path: Path,
+                   candidates: List[CandidateResult]) -> None:
+        ordered = sorted(
+            candidates,
+            key=lambda c: (self.ranking.index(c.name)
+                           if c.name in self.ranking else len(self.ranking),
+                           c.name))
+        with open(path, "w", encoding="utf-8", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=CSV_COLUMNS)
+            writer.writeheader()
+            for candidate in ordered:
+                writer.writerow(self._csv_row(candidate))
+
+    def write_artifacts(self, out_dir: Union[str, Path]
+                        ) -> Dict[str, Path]:
+        """Write ``exploration.json``/``candidates.csv``/``frontier.csv``
+        (and ``host.json`` when host stats exist) under ``out_dir``;
+        returns ``{artifact name: path}``."""
+        root = Path(out_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        written: Dict[str, Path] = {}
+
+        path = root / "exploration.json"
+        path.write_text(json.dumps(self.to_json(), indent=1),
+                        encoding="utf-8")
+        written["exploration.json"] = path
+
+        path = root / "candidates.csv"
+        self._write_csv(path, self.candidates)
+        written["candidates.csv"] = path
+
+        path = root / "frontier.csv"
+        self._write_csv(path, [c for c in self.candidates
+                               if c.on_frontier])
+        written["frontier.csv"] = path
+
+        if self.host is not None:
+            path = root / "host.json"
+            path.write_text(json.dumps({"schema": SCHEMA_VERSION,
+                                        **self.host}, indent=1),
+                            encoding="utf-8")
+            written["host.json"] = path
+        return written

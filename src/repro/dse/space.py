@@ -1,0 +1,215 @@
+"""Declarative design-space definition and constrained enumeration.
+
+A :class:`SearchSpace` names a set of axes over :class:`NetworkDesign`
+fields (placement, routing, channel width, VC count, buffer depth,
+half-routers, double network, MC ports, ...) plus the pseudo-axis
+``mesh`` (``(cols, rows)`` tuples, which scale the machine rather than the
+design dataclass).  Enumeration takes the cross product, materializes each
+point through :func:`repro.core.builder.materialize_design`, and runs the
+named constraint pass (:func:`design_constraint_violations`) so every
+illegal combination is rejected *up front with a reason* — e.g.
+checkerboard routing without checkerboard placement, or half-routers with
+no legal full-router neighborhood — instead of failing or deadlocking
+mid-simulation.
+
+Explicit design points (``designs=``) can be listed alongside or instead
+of axes; the ``figure2`` preset is exactly the paper's seven named points.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..core.builder import (BASELINE, MATERIALIZABLE_FIELDS,
+                            ConstraintViolation, NetworkDesign,
+                            design_constraint_violations, materialize_design)
+from ..noc.topology import Mesh
+from ..system.config import ChipConfig, scaled_config
+
+#: The pseudo-axis that scales the mesh (values are ``(cols, rows)``).
+MESH_AXIS = "mesh"
+
+#: Axis fields with a compact fixed position in generated labels; anything
+#: else (e.g. ``router_latency``) is appended as ``field-value``.
+_LABEL_PLACEMENT = {"top_bottom": "tb", "checkerboard": "cp"}
+_LABEL_ROUTING = {"dor": "dor", "dor_yx": "yx", "cr": "cr", "romm": "romm"}
+_LABELLED_FIELDS = ("placement", "routing", "channel_width",
+                    "vcs_per_class", "vc_buffer_depth", "half_routers",
+                    "double_network", "slice_mode", "mc_inject_ports",
+                    "mc_eject_ports")
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One search axis: a design field (or :data:`MESH_AXIS`) and the
+    values it sweeps."""
+
+    field: str
+    values: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"axis {self.field!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"axis {self.field!r} repeats values: "
+                             f"{self.values}")
+        if self.field != MESH_AXIS \
+                and self.field not in MATERIALIZABLE_FIELDS:
+            raise ValueError(
+                f"unknown axis field {self.field!r}; axes cover "
+                f"NetworkDesign fields {sorted(MATERIALIZABLE_FIELDS)} "
+                f"or {MESH_AXIS!r}")
+        if self.field == MESH_AXIS:
+            for value in self.values:
+                cols, rows = value     # raises on malformed entries
+                if cols < 1 or rows < 1:
+                    raise ValueError(f"bad mesh size {value}")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One legal design point of a space, ready to evaluate."""
+
+    name: str
+    design: NetworkDesign
+    mesh_cols: int = 6
+    mesh_rows: int = 6
+    num_mcs: int = 8
+
+    @property
+    def mesh(self) -> Mesh:
+        return Mesh(self.mesh_cols, self.mesh_rows)
+
+    def chip_config(self) -> Optional[ChipConfig]:
+        """Closed-loop machine config: ``None`` (the paper's Table II
+        machine) on the default 6x6/8-MC geometry, a scaled machine with
+        the same per-node parameters otherwise."""
+        if (self.mesh_cols, self.mesh_rows) == (6, 6) and self.num_mcs == 8:
+            return None
+        nodes = self.mesh_cols * self.mesh_rows
+        return scaled_config(nodes - self.num_mcs, self.num_mcs,
+                             self.mesh_cols, self.mesh_rows)
+
+
+@dataclass(frozen=True)
+class RejectedPoint:
+    """One enumerated point the constraint pass refused, with every named
+    rule it violated."""
+
+    name: str
+    violations: Tuple[ConstraintViolation, ...]
+
+    @property
+    def rules(self) -> Tuple[str, ...]:
+        return tuple(v.rule for v in self.violations)
+
+
+def design_label(design: NetworkDesign, mesh_cols: int = 6,
+                 mesh_rows: int = 6,
+                 extra_fields: Sequence[str] = ()) -> str:
+    """Deterministic compact label for a materialized design point.
+
+    Always encodes the placement/routing/width/VC/buffer axes (so two
+    points differing anywhere in :data:`_LABELLED_FIELDS` can never
+    collide); other overridden fields are appended explicitly via
+    ``extra_fields``."""
+    parts = [
+        _LABEL_PLACEMENT.get(design.placement, str(design.placement)),
+        _LABEL_ROUTING.get(design.routing, str(design.routing)),
+        f"w{design.channel_width}",
+        f"v{design.vcs_per_class}",
+        f"b{design.vc_buffer_depth}",
+    ]
+    if design.half_routers:
+        parts.append("half")
+    if design.double_network:
+        parts.append("dbl" + ("bal" if design.slice_mode == "balanced"
+                              else "ded"))
+    if design.mc_inject_ports != 1:
+        parts.append(f"i{design.mc_inject_ports}")
+    if design.mc_eject_ports != 1:
+        parts.append(f"e{design.mc_eject_ports}")
+    if (mesh_cols, mesh_rows) != (6, 6):
+        parts.append(f"{mesh_cols}x{mesh_rows}")
+    for name in extra_fields:
+        if name in _LABELLED_FIELDS or name == MESH_AXIS:
+            continue
+        parts.append(f"{name.replace('_', '')}-{getattr(design, name)}")
+    return "-".join(parts)
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Axes (cross product) and/or explicit designs to explore."""
+
+    name: str
+    axes: Tuple[Axis, ...] = ()
+    designs: Tuple[NetworkDesign, ...] = ()
+    base: NetworkDesign = field(default_factory=lambda: BASELINE)
+    num_mcs: int = 8
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for axis in self.axes:
+            if axis.field in seen:
+                raise ValueError(f"duplicate axis {axis.field!r}")
+            seen.add(axis.field)
+        if not self.axes and not self.designs:
+            raise ValueError(f"space {self.name!r} is empty: give axes "
+                             "and/or explicit designs")
+
+    def size(self) -> int:
+        """Raw point count before the constraint pass."""
+        total = len(self.designs)
+        if self.axes:
+            product = 1
+            for axis in self.axes:
+                product *= len(axis.values)
+            total += product
+        return total
+
+    def enumerate(self) -> Tuple[List[Candidate], List[RejectedPoint]]:
+        """All points of the space, split into legal candidates and
+        constraint-rejected points (both in deterministic order).
+
+        No simulation happens here — the constraint pass is pure
+        bookkeeping over the design dataclass and mesh geometry, which is
+        what lets a whole space be vetted in microseconds before the first
+        cycle is simulated."""
+        candidates: List[Candidate] = []
+        rejected: List[RejectedPoint] = []
+        names = set()
+
+        def admit(name: str, design: NetworkDesign, cols: int,
+                  rows: int) -> None:
+            if name in names:
+                raise ValueError(
+                    f"space {self.name!r} produced duplicate point "
+                    f"{name!r}; make axis values distinguishable")
+            names.add(name)
+            violations = design_constraint_violations(
+                design, Mesh(cols, rows), self.num_mcs)
+            if violations:
+                rejected.append(RejectedPoint(name, tuple(violations)))
+            else:
+                candidates.append(Candidate(name, design, cols, rows,
+                                            self.num_mcs))
+
+        for design in self.designs:
+            admit(design.name, design, 6, 6)
+
+        if self.axes:
+            axis_fields = [axis.field for axis in self.axes]
+            for combo in itertools.product(
+                    *(axis.values for axis in self.axes)):
+                overrides = dict(zip(axis_fields, combo))
+                cols, rows = overrides.pop(MESH_AXIS, (6, 6))
+                design = materialize_design("point", self.base, **overrides)
+                label = design_label(design, cols, rows,
+                                     extra_fields=axis_fields)
+                admit(label, dataclasses.replace(design, name=label),
+                      cols, rows)
+        return candidates, rejected

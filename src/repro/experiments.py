@@ -41,6 +41,48 @@ from .system.metrics import classify, harmonic_mean
 from .workloads.profiles import PROFILES, BenchmarkProfile
 
 
+def closed_task(design: NetworkDesign, prof: BenchmarkProfile, *,
+                base_seed: int, warmup: int, measure: int,
+                config: Optional[ChipConfig] = None,
+                telemetry=None, fixed_seed: bool = False) -> SimTask:
+    """One closed-loop (design x benchmark) task with the canonical label
+    and seed derivation.
+
+    Every study that runs closed-loop points — :func:`compare_designs`,
+    :func:`classify_benchmarks`, the DSE engine — builds its tasks here, so
+    identical points share cache entries across studies.  ``fixed_seed``
+    uses ``base_seed`` directly for every task (the protocol of the
+    original Figure 2 walk, where all runs shared one seed) instead of the
+    default per-task derivation.
+    """
+    seed = base_seed if fixed_seed else derive_seed(
+        base_seed, "closed", design.name, prof.abbr)
+    return SimTask(kind="closed", label=f"{design.name}/{prof.abbr}",
+                   seed=seed, warmup=warmup, measure=measure, design=design,
+                   profile=prof, config=config, telemetry=telemetry)
+
+
+def open_loop_task(design: NetworkDesign, pattern_factory: Callable,
+                   pattern_name: str, rate: float, *,
+                   base_seed: int, warmup: int, measure: int,
+                   config: Optional[ChipConfig] = None,
+                   telemetry=None, fixed_seed: bool = False) -> SimTask:
+    """One open-loop (design x pattern x rate) task with the canonical
+    label and seed derivation (shared with :func:`load_latency_curves`).
+
+    ``config`` contributes only its mesh geometry and MC count to an
+    open-loop point; the DSE engine passes it when exploring a mesh-size
+    axis."""
+    seed = base_seed if fixed_seed else derive_seed(
+        base_seed, "openloop", design.name, pattern_name, rate)
+    return SimTask(kind="openloop",
+                   label=f"{design.name}/{pattern_name}@{rate:g}",
+                   seed=seed, warmup=warmup, measure=measure, design=design,
+                   config=config, pattern_factory=pattern_factory,
+                   pattern_name=pattern_name, rate=rate,
+                   telemetry=telemetry)
+
+
 @dataclass
 class DesignComparison:
     """Closed-loop results for several designs over one benchmark suite."""
@@ -110,10 +152,8 @@ def compare_designs(designs: Sequence[NetworkDesign],
         designs.insert(0, baseline)
     base_name = (baseline or designs[0]).name
     tasks = [
-        SimTask(kind="closed", label=f"{design.name}/{prof.abbr}",
-                seed=derive_seed(seed, "closed", design.name, prof.abbr),
-                warmup=warmup, measure=measure, design=design,
-                profile=prof, config=config, telemetry=telemetry)
+        closed_task(design, prof, base_seed=seed, warmup=warmup,
+                    measure=measure, config=config, telemetry=telemetry)
         for design in designs for prof in profiles
     ]
     payloads = run_tasks(tasks, jobs=jobs, cache=cache, progress=progress)
@@ -182,12 +222,9 @@ def classify_benchmarks(
     profiles = list(profiles) if profiles is not None else list(PROFILES)
     tasks: List[SimTask] = []
     for prof in profiles:
-        tasks.append(SimTask(
-            kind="closed", label=f"{baseline_design.name}/{prof.abbr}",
-            seed=derive_seed(seed, "closed", baseline_design.name,
-                             prof.abbr),
-            warmup=warmup, measure=measure, design=baseline_design,
-            profile=prof, config=config))
+        tasks.append(closed_task(baseline_design, prof, base_seed=seed,
+                                 warmup=warmup, measure=measure,
+                                 config=config))
         tasks.append(SimTask(
             kind="perfect", label=f"perfect/{prof.abbr}",
             seed=derive_seed(seed, "perfect", prof.abbr),
@@ -261,13 +298,9 @@ def load_latency_curves(
     designs = list(designs)
     rates = list(rates)
     tasks = [
-        SimTask(kind="openloop",
-                label=f"{design.name}/{pattern_name}@{rate:g}",
-                seed=derive_seed(seed, "openloop", design.name,
-                                 pattern_name, rate),
-                warmup=warmup, measure=measure, design=design,
-                pattern_factory=pattern_factory, pattern_name=pattern_name,
-                rate=rate, telemetry=telemetry)
+        open_loop_task(design, pattern_factory, pattern_name, rate,
+                       base_seed=seed, warmup=warmup, measure=measure,
+                       telemetry=telemetry)
         for design in designs for rate in rates
     ]
     payloads = run_tasks(tasks, jobs=jobs, cache=cache, progress=progress)

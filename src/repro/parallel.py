@@ -294,7 +294,17 @@ def _run_task(task: SimTask) -> str:
     if task.kind == "openloop":
         from .core.builder import build, open_loop_variant
         from .noc.openloop import OpenLoopRunner
-        system = build(open_loop_variant(task.design), seed=task.seed)
+        mesh = None
+        num_mcs = 8
+        if task.config is not None:
+            # A ChipConfig on an open-loop task only contributes its mesh
+            # geometry and MC count (there is no chip); the exploration
+            # engine uses this for mesh-size axes.
+            from .noc.topology import Mesh
+            mesh = Mesh(task.config.mesh_cols, task.config.mesh_rows)
+            num_mcs = task.config.num_memory_channels
+        system = build(open_loop_variant(task.design), mesh,
+                       num_mcs=num_mcs, seed=task.seed)
         runner = OpenLoopRunner(system, system.compute_nodes,
                                 system.mc_nodes,
                                 task.pattern_factory(system.mc_nodes),
@@ -392,6 +402,52 @@ def run_tasks(tasks: Sequence[SimTask], jobs: Optional[int] = None,
                 for i, future in futures:
                     _finish(i, future.result())
     return payloads  # type: ignore[return-value]
+
+
+class ReportCollector:
+    """Progress callback that tallies the run: task count, cache hits and
+    per-task wall-clock seconds.
+
+    Usable anywhere a ``progress`` callable is accepted; ``chain`` forwards
+    every report to a second callback (e.g. :func:`log_progress`) so
+    collection and printing compose.  The exploration engine and the DSE
+    throughput benchmark read the tallies for per-stage progress lines and
+    the ``BENCH_dse.json`` trajectory.
+    """
+
+    def __init__(self, chain: Optional[Callable[[TaskReport], None]] = None
+                 ) -> None:
+        self.reports: List[TaskReport] = []
+        self.chain = chain
+
+    def __call__(self, report: TaskReport) -> None:
+        self.reports.append(report)
+        if self.chain is not None:
+            self.chain(report)
+
+    @property
+    def total(self) -> int:
+        """Tasks observed so far."""
+        return len(self.reports)
+
+    @property
+    def cached(self) -> int:
+        """Tasks served from the on-disk result cache."""
+        return sum(1 for r in self.reports if r.cached)
+
+    @property
+    def executed(self) -> int:
+        """Tasks actually simulated (cache misses)."""
+        return sum(1 for r in self.reports if not r.cached)
+
+    @property
+    def seconds(self) -> float:
+        """Summed wall-clock seconds of the executed (non-cached) tasks."""
+        return sum(r.seconds for r in self.reports if not r.cached)
+
+    def hit_rate(self) -> float:
+        """Cache hits over all observed tasks (0.0 when none ran)."""
+        return self.cached / self.total if self.total else 0.0
 
 
 def log_progress(report: TaskReport) -> None:

@@ -14,7 +14,8 @@ results — it only runs when telemetry is enabled at all.
 from __future__ import annotations
 
 import time
-from typing import Dict
+from contextlib import contextmanager
+from typing import Dict, Iterator
 
 
 class HostProfiler:
@@ -37,6 +38,17 @@ class HostProfiler:
         now = time.perf_counter()
         self.sections[name] = self.sections.get(name, 0.0) + (now - start)
         return now
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Charge the wall-clock time of a ``with`` block to ``name`` —
+        the coarse-grained phase counterpart of :meth:`add_since`, used by
+        the exploration engine to time its fidelity-ladder stages."""
+        start = self.clock()
+        try:
+            yield
+        finally:
+            self.add_since(name, start)
 
     def tick(self, count: int = 1) -> None:
         self.cycles += count

@@ -2,10 +2,11 @@
 
 from .generator import (LINE_BYTES, SyntheticKernel,
                         expected_global_access_rate)
-from .profiles import (BY_ABBR, GROUPS, PROFILES, BenchmarkProfile, profile,
-                       rodinia)
+from .profiles import (BY_ABBR, GROUPS, PROFILES, QUICK_MIX,
+                       BenchmarkProfile, profile, quick_mix, rodinia)
 
 __all__ = [
     "BY_ABBR", "BenchmarkProfile", "GROUPS", "LINE_BYTES", "PROFILES",
-    "SyntheticKernel", "expected_global_access_rate", "profile", "rodinia",
+    "QUICK_MIX", "SyntheticKernel", "expected_global_access_rate",
+    "profile", "quick_mix", "rodinia",
 ]

@@ -161,3 +161,16 @@ def profile(abbr: str) -> BenchmarkProfile:
 def rodinia() -> List[BenchmarkProfile]:
     """The Rodinia subset (the paper reports a separate HM for it)."""
     return [p for p in PROFILES if p.suite == "rodinia"]
+
+
+#: A representative 9-benchmark mix — three per Figure 7 class — that keeps
+#: a full design-space walk to a couple of minutes while preserving the
+#: paper's ranking (the mix the quick mode of the Figure 2 example and the
+#: ``figure2`` exploration preset evaluate).
+QUICK_MIX: Tuple[str, ...] = ("AES", "HSP", "SLA", "CON", "BLK", "TRA",
+                              "RD", "MUM", "KM")
+
+
+def quick_mix() -> List[BenchmarkProfile]:
+    """The :data:`QUICK_MIX` profiles, in mix order."""
+    return [profile(abbr) for abbr in QUICK_MIX]

@@ -68,7 +68,90 @@ class TestCommands:
             main(["run", "--benchmark", "NOPE", "--warmup", "10",
                   "--measure", "10"])
 
-    def test_unknown_design_raises(self):
-        with pytest.raises(KeyError):
-            main(["run", "--benchmark", "RD", "--design", "NOPE",
+
+class TestUnknownDesignErrors:
+    """run/compare/sweep/explore turn the unknown-name KeyError into a
+    clean exit carrying the did-you-mean hint."""
+
+    def test_run_suggests_closest_design(self):
+        with pytest.raises(SystemExit,
+                           match="did you mean 'TB-DOR'") as exc:
+            main(["run", "--benchmark", "RD", "--design", "TB-DORR",
                   "--warmup", "10", "--measure", "10"])
+        assert "unknown design 'TB-DORR'" in str(exc.value)
+
+    def test_compare_suggests_closest_design(self):
+        with pytest.raises(SystemExit, match="did you mean 'CP-DOR'"):
+            main(["compare", "--benchmark", "RD",
+                  "--designs", "TB-DOR,CP-DORE",
+                  "--warmup", "10", "--measure", "10"])
+
+    def test_sweep_suggests_closest_design(self):
+        with pytest.raises(SystemExit,
+                           match="did you mean 'Throughput-Effective'"):
+            main(["sweep", "--design", "Throughput-Efective",
+                  "--rates", "0.01", "--warmup", "10", "--measure", "10"])
+
+    def test_area_suggests_closest_design(self):
+        with pytest.raises(SystemExit, match="did you mean 'CP-CR-4VC'"):
+            main(["area", "--design", "CP-CR-4V"])
+
+    def test_explore_suggests_closest_preset(self):
+        with pytest.raises(SystemExit, match="did you mean 'figure2'"):
+            main(["explore", "--preset", "figur2"])
+
+    def test_no_close_match_still_lists_known(self):
+        with pytest.raises(SystemExit, match="known:") as exc:
+            main(["area", "--design", "zzzzzz"])
+        assert "did you mean" not in str(exc.value)
+
+
+class TestExplore:
+    @pytest.fixture
+    def tiny_preset(self, monkeypatch):
+        """Register a two-point preset so the CLI path runs in seconds."""
+        import repro.dse as dse
+
+        def tiny():
+            space = dse.SearchSpace(
+                name="tiny",
+                axes=(dse.Axis("placement",
+                               ("top_bottom", "checkerboard")),))
+            return dse.ExplorationSpec(
+                name="tiny", space=space, mix=("RD",), round_mix=("RD",),
+                ladder=dse.FidelityLadder(screen=False, halving_rounds=0,
+                                          confirm_warmup=40,
+                                          confirm_measure=80,
+                                          min_survivors=2),
+                seed=11)
+
+        monkeypatch.setitem(dse.presets.PRESETS, "tiny", tiny)
+        return tiny
+
+    def test_explore_end_to_end(self, tiny_preset, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        assert main(["explore", "--preset", "tiny",
+                     "--cache", str(tmp_path / "cache"),
+                     "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "exploring preset 'tiny': 2 raw points" in out
+        assert "confirm" in out and "Pareto frontier" in out
+        assert (out_dir / "exploration.json").is_file()
+        assert (out_dir / "candidates.csv").is_file()
+        assert (out_dir / "frontier.csv").is_file()
+
+    def test_explore_seed_override_changes_payload(self, tiny_preset,
+                                                   tmp_path, capsys):
+        import repro.dse as dse
+        spec = dse.preset("tiny")
+        baseline = dse.explore(spec, jobs=1,
+                               cache=str(tmp_path / "cache"))
+        assert main(["explore", "--preset", "tiny", "--seed", "99",
+                     "--cache", str(tmp_path / "cache"),
+                     "--out", str(tmp_path / "out")]) == 0
+        capsys.readouterr()
+        import json
+        payload = json.loads(
+            (tmp_path / "out" / "exploration.json").read_text())
+        assert payload["seed"] == 99
+        assert payload["seed"] != baseline.seed

@@ -1,0 +1,119 @@
+"""Exploration determinism goldens.
+
+The engine's contract: an exploration's payload is bit-identical across
+``jobs`` counts and cache states (cold or warm), and the ``figure2``
+preset reproduces the throughput-effectiveness ordering the original
+``examples/design_space_exploration.py`` printed at full windows.
+
+The cross-jobs/cross-cache matrix runs the real figure2 space at small
+windows to stay fast; the full-window ordering test runs the actual
+preset (the expensive honest check — use a warm cache to make re-runs
+free)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.dse import (CSV_COLUMNS, ExplorationResult, FidelityLadder,
+                       explore, figure2)
+from repro.parallel import ReportCollector
+
+#: The head example's Figure 2 ordering, best throughput-effectiveness
+#: first — the acceptance golden for `repro explore --preset figure2`.
+FIGURE2_ORDERING = [
+    "Throughput-Effective",
+    "Double-CP-CR",
+    "CP-CR-4VC",
+    "CP-DOR",
+    "2x-TB-DOR",
+    "TB-DOR-1cyc",
+    "TB-DOR",
+]
+
+
+def tiny_figure2():
+    """The figure2 space and seed policy at test-sized windows/mix."""
+    spec = figure2()
+    return dataclasses.replace(
+        spec, mix=("RD", "HSP", "BLK"),
+        ladder=FidelityLadder(screen=False, halving_rounds=0,
+                              confirm_warmup=60, confirm_measure=120,
+                              min_survivors=7))
+
+
+class TestBitIdenticalAcrossJobsAndCache:
+    def test_jobs_and_cache_matrix(self, tmp_path):
+        spec = tiny_figure2()
+        runs = {}
+        stats = {}
+        # cache A: serial cold, then parallel warm;
+        # cache B: parallel cold, then serial warm.
+        for key, jobs, cache in (("serial-cold", 1, tmp_path / "a"),
+                                 ("parallel-warm", 4, tmp_path / "a"),
+                                 ("parallel-cold", 4, tmp_path / "b"),
+                                 ("serial-warm", 1, tmp_path / "b")):
+            collector = ReportCollector()
+            result = explore(spec, jobs=jobs, cache=str(cache),
+                             progress=collector)
+            runs[key] = result.to_json()
+            stats[key] = collector
+        # the cache states are what the labels claim
+        assert stats["serial-cold"].cached == 0
+        assert stats["parallel-cold"].cached == 0
+        assert stats["parallel-warm"].executed == 0
+        assert stats["serial-warm"].executed == 0
+        # ... and every payload is bit-identical
+        golden = runs["serial-cold"]
+        for key, payload in runs.items():
+            assert payload == golden, f"{key} diverged from serial-cold"
+
+    def test_host_stats_excluded_from_payload(self, tmp_path):
+        result = explore(tiny_figure2(), jobs=1,
+                         cache=str(tmp_path / "cache"))
+        assert result.host is not None
+        assert result.host["tasks"] > 0
+        assert "host" not in result.to_json()
+
+    def test_payload_round_trips_and_artifacts_pin_schema(self, tmp_path):
+        result = explore(tiny_figure2(), jobs=1,
+                         cache=str(tmp_path / "cache"))
+        clone = ExplorationResult.from_json(result.to_json())
+        assert clone.to_json() == result.to_json()
+        assert clone == dataclasses.replace(result, host=None)
+
+        written = result.write_artifacts(tmp_path / "out")
+        assert sorted(written) == ["candidates.csv", "exploration.json",
+                                   "frontier.csv", "host.json"]
+        payload = json.loads(written["exploration.json"].read_text())
+        assert payload["schema"] == 1
+        assert ExplorationResult.from_json(payload).to_json() \
+            == result.to_json()
+        header = written["candidates.csv"].read_text().splitlines()[0]
+        assert header == ",".join(CSV_COLUMNS)
+        body = written["candidates.csv"].read_text().splitlines()[1:]
+        assert len(body) == len(result.candidates)
+        frontier_rows = written["frontier.csv"].read_text().splitlines()[1:]
+        assert len(frontier_rows) == len(result.frontier)
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            ExplorationResult.from_json({"schema": 99})
+
+
+class TestFigure2FullOrdering:
+    def test_reproduces_head_example_ordering(self):
+        # Full 400/1000-cycle windows over the 9-benchmark mix — the
+        # honest acceptance check (~90 s cold; free on a warm cache).
+        result = explore(figure2(), jobs=1, cache=True)
+        assert result.ranking == FIGURE2_ORDERING
+        assert result.rejected == []
+        for c in result.candidates:
+            assert c.fidelity == "confirm"
+            assert c.hm_ipc is not None and c.hm_ipc > 0
+            assert c.throughput_effectiveness \
+                == pytest.approx(c.hm_ipc / c.chip_area_mm2)
+        # Figure 2's frontier: the big-IPC point and the two
+        # small-area/high-IPC points survive; plain meshes are dominated
+        assert "Throughput-Effective" in result.frontier
+        assert "TB-DOR" not in result.frontier

@@ -1,0 +1,111 @@
+"""Pareto-frontier correctness properties (hypothesis-driven).
+
+The pinned properties: no frontier member is dominated by any point;
+every non-frontier point is dominated by some frontier member (its
+recorded ``dominated_by``); identical-objective points are all on the
+frontier; the result is independent of input order; ties break
+deterministically by name."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import ParetoPoint, dominates, pareto_frontier
+
+objective = st.floats(min_value=0.0, max_value=100.0,
+                      allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def point_sets(draw, max_size=12):
+    n = draw(st.integers(min_value=0, max_value=max_size))
+    return [ParetoPoint(f"p{i}", draw(objective), draw(objective))
+            for i in range(n)]
+
+
+class TestDominates:
+    def test_strictly_better_on_both(self):
+        assert dominates(ParetoPoint("a", 2.0, 1.0),
+                         ParetoPoint("b", 1.0, 2.0))
+
+    def test_equal_points_do_not_dominate(self):
+        a = ParetoPoint("a", 1.0, 1.0)
+        b = ParetoPoint("b", 1.0, 1.0)
+        assert not dominates(a, b) and not dominates(b, a)
+
+    def test_tradeoff_is_incomparable(self):
+        a = ParetoPoint("a", 2.0, 2.0)   # more IPC, more area
+        b = ParetoPoint("b", 1.0, 1.0)
+        assert not dominates(a, b) and not dominates(b, a)
+
+    def test_same_ipc_smaller_area_dominates(self):
+        assert dominates(ParetoPoint("a", 1.0, 1.0),
+                         ParetoPoint("b", 1.0, 2.0))
+
+
+class TestFrontierProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(point_sets())
+    def test_no_frontier_member_is_dominated(self, points):
+        result = pareto_frontier(points)
+        members = {p.name: p for p in points}
+        for name in result.frontier:
+            assert not any(dominates(other, members[name])
+                           for other in points)
+
+    @settings(max_examples=200, deadline=None)
+    @given(point_sets())
+    def test_every_dominated_point_names_a_frontier_dominator(self, points):
+        result = pareto_frontier(points)
+        members = {p.name: p for p in points}
+        on_frontier = set(result.frontier)
+        assert on_frontier.isdisjoint(result.dominated_by)
+        assert on_frontier | set(result.dominated_by) == set(members)
+        for name, dominator in result.dominated_by.items():
+            assert dominator in on_frontier
+            assert dominates(members[dominator], members[name])
+
+    @settings(max_examples=100, deadline=None)
+    @given(point_sets(), st.randoms(use_true_random=False))
+    def test_order_independent(self, points, rng):
+        baseline = pareto_frontier(points)
+        shuffled = list(points)
+        rng.shuffle(shuffled)
+        assert pareto_frontier(shuffled) == baseline
+
+    @settings(max_examples=100, deadline=None)
+    @given(objective, objective, st.integers(min_value=2, max_value=5))
+    def test_identical_objectives_all_on_frontier(self, ipc, area, n):
+        twins = [ParetoPoint(f"t{i}", ipc, area) for i in range(n)]
+        result = pareto_frontier(twins)
+        assert sorted(result.frontier) == sorted(t.name for t in twins)
+        assert result.dominated_by == {}
+
+
+class TestFrontierDeterminism:
+    def test_frontier_ordered_strongest_first(self):
+        points = [ParetoPoint("cheap", 1.0, 1.0),
+                  ParetoPoint("fast", 3.0, 5.0),
+                  ParetoPoint("mid", 2.0, 2.0)]
+        assert pareto_frontier(points).frontier == ("fast", "mid", "cheap")
+
+    def test_ties_break_by_name(self):
+        points = [ParetoPoint("b", 1.0, 1.0), ParetoPoint("a", 1.0, 1.0)]
+        assert pareto_frontier(points).frontier == ("a", "b")
+
+    def test_dominator_is_the_strongest(self):
+        points = [ParetoPoint("weak", 1.0, 5.0),
+                  ParetoPoint("ok", 2.0, 4.0),
+                  ParetoPoint("best", 3.0, 3.0)]
+        result = pareto_frontier(points)
+        assert result.frontier == ("best",)
+        assert result.dominated_by == {"weak": "best", "ok": "best"}
+
+    def test_empty_input(self):
+        result = pareto_frontier([])
+        assert result.frontier == () and result.dominated_by == {}
+
+    def test_duplicate_names_rejected(self):
+        points = [ParetoPoint("a", 1.0, 1.0), ParetoPoint("a", 2.0, 2.0)]
+        with pytest.raises(ValueError, match="duplicate point names"):
+            pareto_frontier(points)
