@@ -320,6 +320,16 @@ class NetworkSystem:
         for network in self.networks:
             network.enable_tracer(tracer)
 
+    def use_reference_stepper(self) -> None:
+        """Switch every slice to the exhaustive-scan stepper (idle-only)."""
+        for network in self.networks:
+            network.use_reference_stepper()
+
+    def use_event_stepper(self) -> None:
+        """Switch every slice (back) to the event stepper (idle-only)."""
+        for network in self.networks:
+            network.use_event_stepper()
+
     def audit(self) -> List[str]:
         """Run the full invariant audit on every slice now; returns the
         list of violations (empty = clean)."""

@@ -78,6 +78,11 @@ class SimtCore:
         self.outbound: Deque[Packet] = deque()
         self._stalled: List[Optional[WarpInstruction]] = [None] * n
         self._issue_busy_until = 0
+        #: Earliest core cycle the next ``step`` can do anything.  The
+        #: chip's event-driven loop skips the call entirely before then; a
+        #: skipped step is provably a no-op (every early return above the
+        #: wake assignment mutates nothing).  Reset to 0 by ``on_reply``.
+        self.wake = 0
         # Statistics.
         self.retired_scalar = 0
         self.issued_instructions = 0
@@ -89,21 +94,25 @@ class SimtCore:
 
     def step(self, cycle: int) -> None:
         if self._issue_busy_until > cycle:
+            self.wake = self._issue_busy_until
             return
-        warp = self.scheduler.pick(cycle)
+        warp, wake = self.scheduler.pick_or_wake(cycle)
         if warp is None:
+            self.wake = wake
             return
         instr = self._stalled[warp.warp_id]
         if instr is None:
             instr = self.program.next_instruction(self.coord, warp.warp_id)
             if instr is None:
                 warp.finished = True
+                self.wake = cycle + 1
                 return
         if instr.is_global and not self._issue_global(warp, instr, cycle):
             # Structural stall: retry the same instruction next time.
             self._stalled[warp.warp_id] = instr
             self.structural_stalls += 1
             warp.ready_at = cycle + 1
+            self.wake = cycle + 1
             return
         self._stalled[warp.warp_id] = None
         if instr.kind is InstrKind.ALU:
@@ -112,6 +121,7 @@ class SimtCore:
             warp.ready_at = cycle + self.config.shared_latency
         self._retire(warp, instr)
         self._issue_busy_until = cycle + self.config.issue_interval
+        self.wake = self._issue_busy_until
 
     def _issue_global(self, warp: Warp, instr: WarpInstruction,
                       cycle: int) -> bool:
@@ -185,6 +195,8 @@ class SimtCore:
             warp.pending_loads -= 1
             if warp.pending_loads < 0:
                 raise RuntimeError("pending-load underflow")
+        # A warp may have unblocked: step again at the next opportunity.
+        self.wake = 0
 
     def flush_l1(self, cycle: int) -> int:
         """Software-managed coherence (Section II): flush every dirty L1

@@ -11,7 +11,10 @@ what turns NoC/DRAM bandwidth, not latency, into the performance limiter
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
+
+#: Sentinel wake time for "no timed wake" (an external event must wake us).
+NEVER = 1 << 62
 
 
 @dataclass
@@ -48,6 +51,25 @@ class RoundRobinWarpScheduler:
                 self._pointer = (self._pointer + offset + 1) % n
                 return warp
         return None
+
+    def pick_or_wake(self, cycle: int) -> Tuple[Optional[Warp], int]:
+        """``pick`` plus, when nothing is ready, the earliest cycle a warp
+        unblocks by timeout alone (``NEVER`` when every blocked warp waits
+        on loads or is finished — a reply event must wake the core then).
+        Identical grant and pointer behaviour to ``pick``."""
+        n = len(self.warps)
+        warps = self.warps
+        pointer = self._pointer
+        wake = NEVER
+        for offset in range(n):
+            warp = warps[(pointer + offset) % n]
+            if not warp.blocked(cycle):
+                self._pointer = (pointer + offset + 1) % n
+                return warp, 0
+            if (not warp.finished and warp.pending_loads == 0
+                    and warp.ready_at < wake):
+                wake = warp.ready_at
+        return None, wake
 
     def all_finished(self) -> bool:
         return all(w.finished for w in self.warps)

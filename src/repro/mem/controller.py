@@ -104,6 +104,11 @@ class MemoryController:
     # -- clocking ------------------------------------------------------------
 
     def icnt_step(self, cycle: int) -> None:
+        # Contract with ``Accelerator.step``'s idle fast-path: when
+        # ``_input``, ``_replies`` and ``_writebacks`` are all empty this
+        # method mutates exactly ``_icnt_cycle`` and ``cycles`` (the drains
+        # below are no-ops then) — the chip loop inlines that idle tick and
+        # skips the call.  Keep both in sync.
         self._icnt_cycle = cycle
         self.cycles += 1
         self._drain_replies(cycle)

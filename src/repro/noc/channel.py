@@ -20,7 +20,7 @@ class Channel:
 
     __slots__ = ("latency", "credit_delay", "src_router", "src_port",
                  "dst_router", "dst_port", "_flits", "_credits",
-                 "flits_carried", "watch", "tracer")
+                 "flits_carried", "watch", "tracer", "delivered_credits")
 
     def __init__(self, latency: int = 1, credit_delay: int = 1) -> None:
         if latency < 1:
@@ -41,6 +41,10 @@ class Channel:
         #: Opt-in per-link flit tracer (``repro.telemetry``); ``None``
         #: keeps the send path at a single attribute test.
         self.tracer = None
+        #: Credits handed upstream by the last ``deliver`` call; the
+        #: event-driven network reads it to wake the credit-receiving
+        #: router (a blocked router sleeps until credits arrive).
+        self.delivered_credits = 0
 
     def connect(self, src_router, src_port: PortId,
                 dst_router, dst_port: PortId) -> None:
@@ -96,7 +100,10 @@ class Channel:
             self.dst_router.deliver_flit(self.dst_port, vc, flit, cycle)
             delivered += 1
         credits = self._credits
+        ncred = 0
         while credits and credits[0][0] <= cycle:
             _, vc = credits.popleft()
             self.src_router.deliver_credit(self.src_port, vc)
+            ncred += 1
+        self.delivered_credits = ncred
         return delivered

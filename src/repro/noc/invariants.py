@@ -127,6 +127,64 @@ def audit_flit_conservation(net) -> List[str]:
         problems.append(
             f"per-node source occupancy sums to {occupancy_sum}, counter "
             f"says {net._source_flits}")
+    if net._buffered_flits != buffered:
+        problems.append(
+            f"buffered-flit counter {net._buffered_flits} != {buffered} "
+            f"flits actually buffered across routers")
+    return problems
+
+
+def audit_event_scheduling(net) -> List[str]:
+    """Event-core bookkeeping: the per-input VC bitmasks mirror buffer
+    occupancy exactly, and (event stepper only) every occupied router is
+    scheduled in the wake heap no later than it could next make progress."""
+    problems: List[str] = []
+    for coord, router in net.routers.items():
+        progress_now = False
+        future_readies: List[int] = []
+        for pos, port_id in enumerate(router._input_order):
+            mask = router._vc_masks[pos]
+            for vc_idx, vc_state in enumerate(router.in_ports[port_id]):
+                bit = mask >> vc_idx & 1
+                if bit != (1 if vc_state.buffer else 0):
+                    problems.append(
+                        f"{coord}: VC mask bit for ({port_id}, {vc_idx}) is "
+                        f"{bit} but buffer holds {len(vc_state.buffer)} "
+                        f"flits")
+                if vc_state.buffer:
+                    ready = vc_state.buffer[0].ready
+                    if ready > net.cycle:
+                        future_readies.append(ready)
+                    elif vc_state.out_vc is not None and (
+                            router.out_ports[vc_state.out_port]
+                            .credits[vc_state.out_vc] > 0):
+                        # An eligible head with a VC and credits can make
+                        # progress next cycle with no external event.
+                        progress_now = True
+        if net._scan_stepper:
+            continue
+        if not router.occupancy:
+            continue
+        # A sleeping occupied router must wake by the earliest cycle it
+        # could make progress *without* an external event; heads blocked on
+        # credits or on an output-VC release may sleep indefinitely (the
+        # unblocking credit/flit arrival re-wakes the router).
+        if progress_now:
+            deadline = net.cycle + 1
+        elif future_readies:
+            deadline = min(future_readies)
+        else:
+            continue
+        if router.wake > deadline:
+            problems.append(
+                f"{coord}: occupied router sleeps until {router.wake}, "
+                f"past its progress deadline {deadline}")
+        elif (not any(entry == (router.wake, router.net_index)
+                      for entry in net._wake_heap)
+              and router.net_index not in net._due_next):
+            problems.append(
+                f"{coord}: occupied router's wake {router.wake} has no "
+                f"live heap or due-next entry")
     return problems
 
 
@@ -250,7 +308,8 @@ def audit_network(net) -> List[str]:
     """Run every audit on one physical network; returns problem strings."""
     return (audit_flit_conservation(net)
             + audit_credit_conservation(net)
-            + audit_vc_discipline(net))
+            + audit_vc_discipline(net)
+            + audit_event_scheduling(net))
 
 
 def check_network(net) -> None:

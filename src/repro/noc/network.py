@@ -14,15 +14,17 @@ and the open-loop harness both drive it through the same small interface:
 
 from __future__ import annotations
 
+import os
 import random
 from collections import deque
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from .channel import Channel
 from .invariants import DeadlockError, InvariantChecker, format_network_state
 from .packet import Flit, Packet
-from .router import Router, RouterSpec
+from .router import NEVER, Router, RouterSpec
 from .routing import RoutingAlgorithm
 from .stats import NetworkStats
 from .topology import Coord, Direction, Mesh, injection_port
@@ -89,10 +91,27 @@ class MeshNetwork:
         #: by the cycle loop.
         self._active_channels: Dict[Channel, None] = {}
         #: True while any router may hold buffered flits; cleared by a full
-        #: scan that finds every router empty.
+        #: scan that finds every router empty (reference stepper only).
         self._routers_active = False
         #: Total flits queued across all source ports (all nodes).
         self._source_flits = 0
+        #: Total flits buffered inside routers (maintained by both steppers;
+        #: makes ``idle`` O(1)).
+        self._buffered_flits = 0
+        #: Lazy-deletion min-heap of ``(wake_cycle, router_index)`` driving
+        #: the event-driven router phase; a heap entry is genuine iff it
+        #: equals the router's current ``wake`` (see DESIGN.md §13).
+        self._wake_heap: List[Tuple[int, int]] = []
+        #: Reused per-cycle scratch (drained channels / due router indices).
+        self._channel_scratch: List[Channel] = []
+        self._due_scratch: List[int] = []
+        #: Routers re-armed for exactly the next cycle (heap bypass).
+        self._due_next: List[int] = []
+        #: Debug escape hatch: run the reference exhaustive-scan stepper
+        #: instead of the event-driven one (also flippable at idle via
+        #: ``use_reference_stepper``/``use_event_stepper``).
+        self._scan_stepper = os.environ.get(
+            "REPRO_REFERENCE_STEPPER") == "1"
 
         self.routers: Dict[Coord, Router] = {}
         self.channels: List[Channel] = []
@@ -115,7 +134,9 @@ class MeshNetwork:
                 dst.attach_input_channel(dst_port, channel)
                 self.channels.append(channel)
 
-        for router in self.routers.values():
+        self._router_list: Tuple[Router, ...] = tuple(self.routers.values())
+        for idx, router in enumerate(self._router_list):
+            router.net_index = idx
             router.finalize()
 
         self._sources: Dict[Coord, List[_SourcePort]] = {}
@@ -191,32 +212,132 @@ class MeshNetwork:
         return True
 
     def step(self, cycle: Optional[int] = None) -> None:
-        """Advance one interconnect cycle.
+        """Advance one interconnect cycle (event-driven).
 
-        Idle fast-path: only channels with traffic in flight are delivered,
-        routers are stepped only while flits are buffered somewhere (or have
-        just arrived), and the source drain runs only for nodes with queued
-        flits.  A fully idle network reduces to a cycle-counter bump, which
-        is what makes light-traffic closed-loop benchmarks cheap.  The
-        bookkeeping is event-driven and deterministic, so results are
-        bit-identical to the exhaustive scan.
+        Only channels with traffic in flight are delivered, only routers
+        whose wake time is due are stepped (in ascending router-index order,
+        i.e. exactly the mesh order the reference scan walks), and the
+        source drain runs only for nodes with queued flits.  A fully idle
+        network reduces to a cycle-counter bump.  The scheduling is
+        deterministic, so results are bit-identical to the exhaustive scan
+        (``_step_scan``, its twin — semantic changes must land in both; the
+        golden tests in tests/test_event_core.py compare them).
         """
         self.cycle = self.cycle + 1 if cycle is None else cycle
         now = self.cycle
         self.stats.cycles = now
+        if self._scan_stepper:
+            self._step_scan(now)
+            return
+        heap = self._wake_heap
+        if self._active_channels:
+            # ``deliver`` never activates or deactivates other channels, so
+            # iterate the dict directly; drained channels are collected into
+            # a reused scratch list instead of copying the dict every cycle.
+            scratch = self._channel_scratch
+            for channel in self._active_channels:
+                n = channel.deliver(now)
+                if n:
+                    self._buffered_flits += n
+                    dst = channel.dst_router
+                    # The arriving flits sleep through the pipeline; any
+                    # earlier obligation is already in ``dst.wake``.
+                    wake = now + dst.pipeline_latency
+                    if wake < dst.wake:
+                        dst.wake = wake
+                        heappush(heap, (wake, dst.net_index))
+                if channel.delivered_credits:
+                    # Credits can unblock the receiving router this very
+                    # cycle (the channel phase precedes the router phase,
+                    # exactly as the scan sees it).
+                    src = channel.src_router
+                    if src.occupancy and now < src.wake:
+                        src.wake = now
+                        heappush(heap, (now, src.net_index))
+                if not channel.busy:
+                    scratch.append(channel)
+            if scratch:
+                for channel in scratch:
+                    del self._active_channels[channel]
+                del scratch[:]
+        due_next = self._due_next
+        if due_next or (heap and heap[0][0] <= now):
+            routers = self._router_list
+            due = self._due_scratch
+            if due_next:
+                # Routers that re-armed for exactly the next cycle bypass
+                # the heap (the common case under load: a blocked router
+                # re-arms every cycle).  Nothing can schedule them earlier,
+                # so every entry is a valid claim.
+                for idx in due_next:
+                    router = routers[idx]
+                    if router.wake == now:
+                        router.wake = NEVER
+                        due.append(idx)
+                del due_next[:]
+            while heap and heap[0][0] <= now:
+                wake, idx = heappop(heap)
+                router = routers[idx]
+                if router.wake == wake:     # genuine entry, not superseded
+                    router.wake = NEVER
+                    due.append(idx)
+            # Ascending index = mesh coords order = reference scan order, so
+            # ejection handlers (and thus RNG draws) fire in the same order.
+            due.sort()
+            next_cycle = now + 1
+            for idx in due:
+                router = routers[idx]
+                before = router.occupancy
+                for flit, _port in router.step(now):
+                    self._eject(flit, now)
+                self._buffered_flits += router.occupancy - before
+                wake = router.next_wake(now)
+                if wake != NEVER:
+                    router.wake = wake
+                    if wake == next_cycle:
+                        due_next.append(idx)
+                    else:
+                        heappush(heap, (wake, idx))
+            del due[:]
+        if self._source_flits:
+            occupancy = self._source_occupancy
+            for coord, ports in self._sources.items():
+                if occupancy[coord]:
+                    router = self.routers[coord]
+                    for port in ports:
+                        self._drain_source(coord, router, port, now)
+        checker = self.checker
+        if checker is not None:
+            checker.on_cycle(now)
+
+    def _step_scan(self, now: int) -> None:
+        """Reference exhaustive-scan cycle body (the pre-event-core loop).
+
+        Twin of the event-driven body in ``step``; kept as the bit-identity
+        oracle and the benchmark baseline (``REPRO_REFERENCE_STEPPER=1``).
+        """
         flits_arrived = False
         if self._active_channels:
-            for channel in list(self._active_channels):
-                if channel.deliver(now):
+            scratch = self._channel_scratch
+            for channel in self._active_channels:
+                n = channel.deliver(now)
+                if n:
                     flits_arrived = True
+                    self._buffered_flits += n
                 if not channel.busy:
+                    scratch.append(channel)
+            if scratch:
+                for channel in scratch:
                     del self._active_channels[channel]
+                del scratch[:]
         if self._routers_active or flits_arrived:
             busy = False
-            for router in self.routers.values():
+            for router in self._router_list:
                 if router.occupancy:
-                    for flit, _port in router.step(now):
+                    before = router.occupancy
+                    for flit, _port in router.step_reference(now):
                         self._eject(flit, now)
+                    self._buffered_flits += router.occupancy - before
                     if router.occupancy:
                         busy = True
             self._routers_active = busy
@@ -230,6 +351,32 @@ class MeshNetwork:
         checker = self.checker
         if checker is not None:
             checker.on_cycle(now)
+
+    def use_reference_stepper(self) -> None:
+        """Switch to the exhaustive-scan stepper (debug/benchmark oracle).
+
+        Only legal while idle: the event scheduler's per-router anchors are
+        meaningless to the scan and vice versa.
+        """
+        if not self.idle:
+            raise RuntimeError(
+                f"network {self.name!r}: stepper can only be switched while "
+                "idle")
+        self._scan_stepper = True
+        del self._wake_heap[:]
+        del self._due_next[:]
+
+    def use_event_stepper(self) -> None:
+        """Switch (back) to the event-driven stepper.  Idle-only."""
+        if not self.idle:
+            raise RuntimeError(
+                f"network {self.name!r}: stepper can only be switched while "
+                "idle")
+        self._scan_stepper = False
+        del self._wake_heap[:]
+        del self._due_next[:]
+        for router in self._router_list:
+            router.wake = NEVER
 
     def channel_utilization(self) -> Dict[Tuple[Coord, Coord], float]:
         """Flits carried per cycle for every directed mesh link — the
@@ -249,12 +396,15 @@ class MeshNetwork:
 
     @property
     def idle(self) -> bool:
-        """True when no flit is buffered, in flight, or waiting at a source."""
-        if any(occ for occ in self._source_occupancy.values()):
-            return False
-        if any(r.occupancy for r in self.routers.values()):
-            return False
-        return not any(c.busy for c in self.channels)
+        """True when no flit is buffered, in flight, or waiting at a source.
+
+        O(1): ``_source_flits`` mirrors the per-node source occupancy,
+        ``_buffered_flits`` the per-router occupancy, and a channel is in
+        ``_active_channels`` exactly while it has flits or credits in
+        flight.
+        """
+        return not (self._source_flits or self._buffered_flits
+                    or self._active_channels)
 
     def run_until_idle(self, max_cycles: int = 1_000_000) -> int:
         """Drain all traffic; returns the cycle count.  Test helper."""
@@ -293,7 +443,15 @@ class MeshNetwork:
             router.deliver_flit(port.port_id, port.vc, flit, now)
             self._source_occupancy[coord] -= 1
             self._source_flits -= 1
+            self._buffered_flits += 1
             self._routers_active = True
+            if not self._scan_stepper:
+                # The injected flit sleeps through the pipeline; schedule
+                # the router for the flit's ready time.
+                wake = now + router.pipeline_latency
+                if wake < router.wake:
+                    router.wake = wake
+                    heappush(self._wake_heap, (wake, router.net_index))
             if not port.flits:
                 port.flits = None
                 port.vc = None

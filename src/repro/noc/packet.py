@@ -46,7 +46,7 @@ class RouteGroup(Enum):
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A message travelling through one network.
 
@@ -102,7 +102,7 @@ class Packet:
         return self.ejected - self.injected
 
 
-@dataclass
+@dataclass(slots=True)
 class Flit:
     """One channel-width unit of a packet (wormhole flow control)."""
 

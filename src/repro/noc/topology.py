@@ -65,6 +65,12 @@ class Coord:
     x: int
     y: int
 
+    def __post_init__(self) -> None:
+        # Coords key every router/channel dict lookup on the hot path, so
+        # the tuple hash is computed once.  Must equal the dataclass-
+        # generated hash so dict/set iteration orders are unchanged.
+        object.__setattr__(self, "_hash", hash((self.x, self.y)))
+
     def neighbor(self, direction: Direction) -> "Coord":
         if direction is Direction.NORTH:
             return Coord(self.x, self.y - 1)
@@ -86,6 +92,15 @@ class Coord:
 
     def __repr__(self) -> str:  # compact, used in error messages and logs
         return f"({self.x},{self.y})"
+
+
+def _cached_coord_hash(self: Coord) -> int:
+    return self._hash
+
+
+# ``dataclass(frozen=True)`` always installs its own ``__hash__``, so the
+# cached variant has to be swapped in after class creation.
+Coord.__hash__ = _cached_coord_hash  # type: ignore[method-assign]
 
 
 class Mesh:

@@ -32,26 +32,64 @@ class VcConfig:
     #: the second half carries YX packets (checkerboard routing).
     route_split: bool = False
 
+    def __post_init__(self) -> None:
+        # Hot-path lookup tables.  ``class_index``/``allowed_vcs`` run on
+        # every VC allocation and every injection attempt, so the linear
+        # scan over ``class_map`` and the tuple rebuild are precomputed
+        # once here.  The dataclass is frozen, hence ``object.__setattr__``;
+        # non-field attributes do not participate in ``__eq__``/``__hash__``
+        # or ``dataclasses.asdict``, so value semantics are unchanged.
+        class_of: Dict[TrafficClass, int] = {}
+        for klass, idx in self.class_map:
+            class_of.setdefault(klass, idx)       # first entry wins
+        n_classes = len(set(idx for _, idx in self.class_map))
+        object.__setattr__(self, "_class_of", class_of)
+        object.__setattr__(self, "_num_classes", n_classes)
+        object.__setattr__(self, "_num_vcs",
+                           n_classes * self.vcs_per_class)
+        allowed: Dict[Tuple[TrafficClass, RouteGroup], Tuple[int, ...]] = {}
+        for klass, idx in class_of.items():
+            for group in RouteGroup:
+                try:
+                    allowed[(klass, group)] = \
+                        self._dynamic_allowed_vcs(klass, group)
+                except ValueError:
+                    # Illegal combo (e.g. route_split with one VC per
+                    # class): keep raising lazily, exactly as before.
+                    pass
+        object.__setattr__(self, "_allowed", allowed)
+
     @property
     def num_classes(self) -> int:
-        return len(set(idx for _, idx in self.class_map))
+        return self._num_classes
 
     @property
     def num_vcs(self) -> int:
-        return self.num_classes * self.vcs_per_class
+        return self._num_vcs
 
     def class_index(self, tclass: TrafficClass) -> int:
-        for klass, idx in self.class_map:
-            if klass == tclass:
-                return idx
-        raise ValueError(f"this network does not carry {tclass!r}")
+        idx = self._class_of.get(tclass)
+        if idx is None:
+            raise ValueError(f"this network does not carry {tclass!r}")
+        return idx
 
     def carries(self, tclass: TrafficClass) -> bool:
-        return any(klass == tclass for klass, _ in self.class_map)
+        return tclass in self._class_of
 
     def allowed_vcs(self, tclass: TrafficClass,
                     group: RouteGroup) -> Tuple[int, ...]:
         """VC indices a packet of (class, route group) may occupy."""
+        vcs = self._allowed.get((tclass, group))
+        if vcs is None:
+            # Unknown class/group or illegal split: the dynamic path
+            # raises the same errors the precomputed tables skipped.
+            return self._dynamic_allowed_vcs(tclass, group)
+        return vcs
+
+    def _dynamic_allowed_vcs(self, tclass: TrafficClass,
+                             group: RouteGroup) -> Tuple[int, ...]:
+        """Reference computation behind the precomputed ``allowed_vcs``
+        tables (also the oracle for the table-pinning unit tests)."""
         base = self.class_index(tclass) * self.vcs_per_class
         vcs = tuple(range(base, base + self.vcs_per_class))
         if not self.route_split or group is RouteGroup.ANY:

@@ -9,6 +9,7 @@ this class under different network designs and workload profiles.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -147,6 +148,9 @@ class Accelerator:
         #: ``TelemetryHub.attach_chip``; ``None`` keeps ``step`` at a
         #: single attribute test.
         self.telemetry = None
+        #: Debug escape hatch mirroring the network's: run the reference
+        #: exhaustive component loops instead of the event-driven ones.
+        self._reference = os.environ.get("REPRO_REFERENCE_STEPPER") == "1"
 
     # -- plumbing -------------------------------------------------------------
 
@@ -174,11 +178,67 @@ class Accelerator:
     # -- simulation loop --------------------------------------------------------
 
     def step(self) -> None:
-        """One interconnect cycle (master clock)."""
+        """One interconnect cycle (master clock), event-driven.
+
+        Cores are stepped only when their wake time is due (a skipped
+        ``SimtCore.step`` is provably a no-op), drained MCs and idle DRAM
+        channels take an inline idle tick that performs exactly the
+        mutations their full step would.  ``_step_reference`` is the
+        exhaustive twin (the pre-event-core loop); both must change
+        together and the golden tests compare them bit for bit.
+        """
         telemetry = self.telemetry
         if telemetry is not None:
             self._step_instrumented(telemetry)
             return
+        if self._reference:
+            self._step_reference()
+            return
+        self.icnt_cycle += 1
+        now = self.icnt_cycle
+        for _ in range(self._core_clock.advance()):
+            self.core_cycle += 1
+            cc = self.core_cycle
+            for core in self.cores:
+                if core.wake <= cc:
+                    core.step(cc)
+        for core in self.cores:
+            outbound = core.outbound
+            while outbound:
+                # Cores timestamp in the core clock domain; packet latency
+                # is accounted in interconnect cycles, so re-stamp at the
+                # network interface.
+                outbound[0].created = now
+                if not self.network.try_inject(outbound[0], now):
+                    break
+                outbound.popleft()
+        self.network.step(now)
+        for mc in self.mcs:
+            if mc._input or mc._replies or mc._writebacks:
+                mc.icnt_step(now)
+            else:
+                # Idle tick: exactly what ``icnt_step`` mutates when all
+                # three queues are empty (see the contract note there).
+                mc.cycles += 1
+                mc._icnt_cycle = now
+        for _ in range(self._dram_clock.advance()):
+            self.dram_cycle += 1
+            mclk = self.dram_cycle
+            for mc in self.mcs:
+                dram = mc.dram
+                if dram._queue or dram._in_flight:
+                    dram.step(mclk)
+                else:
+                    # Idle tick: ``GddrChannel.step`` with nothing queued
+                    # or in flight only advances its clock.
+                    dram.now = mclk
+        if self._check_interval and now % self._check_interval == 0:
+            check_accelerator(self)
+
+    def _step_reference(self) -> None:
+        """Reference exhaustive step (the pre-event-core loop): every core,
+        MC and DRAM channel is stepped every cycle.  Twin of :meth:`step`;
+        used as the benchmark baseline and bit-identity oracle."""
         self.icnt_cycle += 1
         now = self.icnt_cycle
         for _ in range(self._core_clock.advance()):
@@ -189,9 +249,6 @@ class Accelerator:
         for core in self.cores:
             outbound = core.outbound
             while outbound:
-                # Cores timestamp in the core clock domain; packet latency
-                # is accounted in interconnect cycles, so re-stamp at the
-                # network interface.
                 outbound[0].created = now
                 if not self.network.try_inject(outbound[0], now):
                     break
@@ -206,6 +263,19 @@ class Accelerator:
                 mc.dram_step(mclk)
         if self._check_interval and now % self._check_interval == 0:
             check_accelerator(self)
+
+    def use_reference_stepper(self) -> None:
+        """Run the exhaustive reference loops (chip and network).  Only
+        legal before traffic, or while the whole system is drained."""
+        self._reference = True
+        if hasattr(self.network, "use_reference_stepper"):
+            self.network.use_reference_stepper()
+
+    def use_event_stepper(self) -> None:
+        """Switch (back) to the event-driven loops.  Drained-state only."""
+        self._reference = False
+        if hasattr(self.network, "use_event_stepper"):
+            self.network.use_event_stepper()
 
     def _step_instrumented(self, telemetry) -> None:
         """Telemetry-enabled twin of :meth:`step`: identical simulation
