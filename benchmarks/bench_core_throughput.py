@@ -1,27 +1,30 @@
-"""Event-driven cycle core throughput: wake scheduling vs exhaustive scan.
+"""Cycle-core throughput: reference scan vs event-driven vs batched SoA.
 
-Times the same pinned workloads under both cycle cores — the event-driven
+Times the same pinned workloads under all three cycle cores — the
+reference exhaustive scan (``use_reference_stepper``), the event-driven
 stepper (wake-scheduled routers, allocation fast paths, idle-component
-skipping) and the reference exhaustive scan (``use_reference_stepper``) —
-and writes ``benchmarks/results/BENCH_core.json`` with before/after
-cycles-per-second and flits-per-second plus the speedup:
+skipping) and the batched struct-of-arrays core (``use_batched_stepper``,
+one vectorized screen over every (router, port, VC) cell per cycle) —
+and writes ``benchmarks/results/BENCH_core.json`` with per-mode
+cycles-per-second and flits-per-second plus each mode's speedup over the
+reference:
 
 * ``closed_loop_smoke`` — a finite BIN kernel on TB-DOR whose drained tail
   exercises the idle fast paths (cores finished, MCs idle, networks empty).
   The event core must be at least 2x the reference here.
-* ``open_loop_light`` — 8x8 mesh at a light injection rate (informational;
+* ``open_loop_light`` — 20x20 mesh at a light injection rate (informational;
   most routers idle, the wake heap stays nearly empty).
 * ``open_loop_saturated`` — the same mesh driven past saturation, where the
   scan is genuinely busy: every router holds flits, but most are blocked
-  upstream of the MC hot links and zero-grant routers sleep until a credit
-  arrives.  The event core must be at least 1.3x the reference here.
+  upstream of the MC hot links.  This is the batched core's home regime —
+  it must be at least 3x the reference here; the event core at least 1.3x.
 
-Both steppers must also produce bit-identical results (the determinism
-contract pinned by ``tests/test_event_core.py``), so the bench doubles as
-a determinism canary.  Host timing on shared runners is noisy, so each
-mode runs ``REPRO_BENCH_REPS`` times (default 3), interleaved, and the
-per-mode minimum is compared — the minimum of a deterministic workload is
-the stable estimator under scheduler noise.
+All steppers must also produce bit-identical results (the determinism
+contract pinned by ``tests/test_stepper_equivalence.py``), so the bench
+doubles as a determinism canary.  Host timing on shared runners is noisy,
+so each mode runs ``REPRO_BENCH_REPS`` times (default 3), interleaved,
+and the per-mode minimum is compared — the minimum of a deterministic
+workload is the stable estimator under scheduler noise.
 """
 
 from __future__ import annotations
@@ -38,15 +41,19 @@ from repro.noc.traffic import UniformManyToFew
 from repro.system.accelerator import build_chip
 from repro.workloads.profiles import profile
 
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
 REPS = max(1, int(os.environ.get("REPRO_BENCH_REPS", "3")))
+
+#: Measurement order within one interleaved round.  ``reference`` first so
+#: every later mode compares against a same-round baseline sample.
+MODES = ("reference", "event", "batched")
 
 # Closed loop: finite kernel, measured to well past its drained tail.
 CLOSED_PROFILE = "BIN"
 CLOSED_DESIGN = "TB-DOR"
 CLOSED_IPW = 16
 CLOSED_WARMUP, CLOSED_MEASURE = 200, 4800
-CLOSED_FLOOR = 2.0
+CLOSED_FLOORS = {"event": 2.0}
 
 # Open loop: a mesh large enough that saturation leaves most routers
 # blocked (occupied but unable to grant) rather than actively draining —
@@ -57,8 +64,8 @@ OPEN_MESH = (20, 20)
 OPEN_WARMUP, OPEN_MEASURE = 300, 800
 LIGHT_RATE = 0.01
 SATURATED_RATE = 0.30
-SATURATED_FLOOR = 1.3
-#: Extra interleaved rep pairs allowed when a floor check lands short —
+SATURATED_FLOORS = {"event": 1.3, "batched": 3.0}
+#: Extra interleaved rep rounds allowed when a floor check lands short —
 #: per-mode minima only sharpen with more samples, so retries converge
 #: to the clean-machine ratio instead of flaking on a noise burst.
 EXTRA_REPS = max(0, int(os.environ.get("REPRO_BENCH_EXTRA_REPS", "4")))
@@ -69,12 +76,20 @@ def _flits_ejected(network) -> int:
                for net in getattr(network, "networks", [network]))
 
 
-def _closed_run(reference: bool):
+def _select_stepper(system, mode: str) -> None:
+    if mode == "reference":
+        system.use_reference_stepper()
+    elif mode == "batched":
+        system.use_batched_stepper()
+    elif mode != "event":
+        raise ValueError(f"unknown stepper mode {mode!r}")
+
+
+def _closed_run(mode: str):
     chip = build_chip(profile(CLOSED_PROFILE),
                       design=design_by_name(CLOSED_DESIGN), seed=SEED,
                       instructions_per_warp=CLOSED_IPW)
-    if reference:
-        chip.use_reference_stepper()
+    _select_stepper(chip, mode)
     start = time.perf_counter()
     result = chip.run(warmup=CLOSED_WARMUP, measure=CLOSED_MEASURE)
     seconds = time.perf_counter() - start
@@ -82,11 +97,10 @@ def _closed_run(reference: bool):
         result.to_json()
 
 
-def _open_run(rate: float, reference: bool):
+def _open_run(rate: float, mode: str):
     system = build(open_loop_variant(design_by_name(OPEN_DESIGN)),
                    Mesh(*OPEN_MESH), num_mcs=8, seed=SEED)
-    if reference:
-        system.use_reference_stepper()
+    _select_stepper(system, mode)
     runner = OpenLoopRunner(system, system.compute_nodes, system.mc_nodes,
                             UniformManyToFew(system.mc_nodes), rate,
                             seed=SEED)
@@ -97,19 +111,20 @@ def _open_run(rate: float, reference: bool):
         point.to_json()
 
 
-def _measure(name: str, run, floor):
-    """Interleave ``REPS`` reference/event pairs; compare per-mode minima.
+def _measure(name: str, run, floors):
+    """Interleave ``REPS`` rounds over all three modes; compare per-mode
+    minima against the reference minimum.
 
     Also asserts the determinism contract: every rep of every mode must
-    produce the same result payload, and the event payload must equal the
-    reference payload bit for bit.
+    produce the same result payload, and every mode's payload must equal
+    the reference payload bit for bit.
     """
     best = {}
     payloads = {}
 
-    def one_pair():
-        for mode, reference in (("reference", True), ("event", False)):
-            seconds, cycles, flits, payload = run(reference)
+    def one_round():
+        for mode in MODES:
+            seconds, cycles, flits, payload = run(mode)
             if mode not in best or seconds < best[mode][0]:
                 best[mode] = (seconds, cycles, flits)
             expected = payloads.setdefault(mode, payload)
@@ -118,19 +133,24 @@ def _measure(name: str, run, floor):
                     f"{name}: {mode} stepper is not deterministic "
                     "across repetitions")
 
+    def floors_met():
+        ref = best["reference"][0]
+        return all(ref / best[mode][0] >= floor
+                   for mode, floor in floors.items())
+
     reps = REPS
     for _ in range(REPS):
-        one_pair()
-    if floor is not None:
-        for _ in range(EXTRA_REPS):
-            if best["reference"][0] / best["event"][0] >= floor:
-                break
-            one_pair()
-            reps += 1
-    if payloads["event"] != payloads["reference"]:
-        raise AssertionError(
-            f"{name}: event-driven result differs from the reference "
-            "exhaustive scan")
+        one_round()
+    for _ in range(EXTRA_REPS):
+        if floors_met():
+            break
+        one_round()
+        reps += 1
+    for mode in MODES:
+        if payloads[mode] != payloads["reference"]:
+            raise AssertionError(
+                f"{name}: {mode} result differs from the reference "
+                "exhaustive scan")
 
     def stats(mode):
         seconds, cycles, flits = best[mode]
@@ -142,36 +162,37 @@ def _measure(name: str, run, floor):
             "flits_per_second": round(flits / seconds, 1),
         }
 
+    ref_seconds = best["reference"][0]
     entry = {
         "reps": reps,
-        "reference": stats("reference"),
-        "event": stats("event"),
-        "speedup": round(best["reference"][0] / best["event"][0], 3),
+        "modes": {mode: stats(mode) for mode in MODES},
+        "speedup": {mode: round(ref_seconds / best[mode][0], 3)
+                    for mode in MODES if mode != "reference"},
         "identical": True,
     }
-    if floor is not None:
-        entry["floor"] = floor
-        if entry["speedup"] < floor:
-            raise AssertionError(
-                f"{name}: event core speedup {entry['speedup']}x is below "
-                f"the {floor}x floor (reference "
-                f"{entry['reference']['best_seconds']}s vs event "
-                f"{entry['event']['best_seconds']}s over {reps} "
-                "interleaved reps)")
+    if floors:
+        entry["floors"] = floors
+        for mode, floor in floors.items():
+            if entry["speedup"][mode] < floor:
+                raise AssertionError(
+                    f"{name}: {mode} core speedup "
+                    f"{entry['speedup'][mode]}x is below the {floor}x "
+                    f"floor (reference {ref_seconds}s vs {mode} "
+                    f"{best[mode][0]}s over {reps} interleaved rounds)")
     return entry
 
 
 def _experiment():
     configs = {
         "closed_loop_smoke": _measure(
-            "closed_loop_smoke", _closed_run, CLOSED_FLOOR),
+            "closed_loop_smoke", _closed_run, CLOSED_FLOORS),
         "open_loop_light": _measure(
             "open_loop_light",
-            lambda reference: _open_run(LIGHT_RATE, reference), None),
+            lambda mode: _open_run(LIGHT_RATE, mode), {}),
         "open_loop_saturated": _measure(
             "open_loop_saturated",
-            lambda reference: _open_run(SATURATED_RATE, reference),
-            SATURATED_FLOOR),
+            lambda mode: _open_run(SATURATED_RATE, mode),
+            SATURATED_FLOORS),
     }
     payload = {
         "schema": BENCH_SCHEMA,
@@ -200,18 +221,23 @@ def _experiment():
     out.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
 
     rows = [
-        f"{'config':22s} {'ref s':>8s} {'event s':>8s} {'speedup':>8s} "
-        f"{'kcyc/s':>8s} {'floor':>6s}",
+        f"{'config':22s} {'ref s':>8s} {'event s':>8s} {'batch s':>8s} "
+        f"{'event x':>8s} {'batch x':>8s} {'floors':>12s}",
     ]
     for name, entry in configs.items():
-        floor = entry.get("floor")
+        modes = entry["modes"]
+        floors = entry.get("floors", {})
+        floor_text = ",".join(
+            f"{mode[0]}:{floor:.1f}x" for mode, floor in floors.items()
+        ) or "-"
         rows.append(
-            f"{name:22s} {entry['reference']['best_seconds']:8.2f} "
-            f"{entry['event']['best_seconds']:8.2f} "
-            f"{entry['speedup']:7.2f}x "
-            f"{entry['event']['cycles_per_second'] / 1e3:8.1f} "
-            f"{(f'{floor:.1f}x' if floor else '-'):>6s}")
-    rows.append(f"(min over {REPS} interleaved reps per mode; both "
+            f"{name:22s} {modes['reference']['best_seconds']:8.2f} "
+            f"{modes['event']['best_seconds']:8.2f} "
+            f"{modes['batched']['best_seconds']:8.2f} "
+            f"{entry['speedup']['event']:7.2f}x "
+            f"{entry['speedup']['batched']:7.2f}x "
+            f"{floor_text:>12s}")
+    rows.append(f"(min over {REPS}+ interleaved rounds per mode; all three "
                 "steppers bit-identical; details in "
                 "results/BENCH_core.json)")
     return rows

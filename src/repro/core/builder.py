@@ -18,7 +18,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..noc.invariants import (DeadlockError, audit_system,
                               format_system_state)
-from ..noc.network import MeshNetwork, NocParams
+from ..noc.network import MeshNetwork, NocParams, _StepperContext
 from ..noc.packet import Packet, TrafficClass
 from ..noc.router import RouterSpec
 from ..noc.routing import DorXY, DorYX, Romm2Phase, RoutingAlgorithm
@@ -275,9 +275,23 @@ class NetworkSystem:
         self.compute_nodes = compute_nodes(mesh, mc_nodes)
         self.cycle = 0
         self._slice_rr = 0
+        # Which slices carry each traffic class is static — computed once
+        # instead of filtering the slice list per injected packet.
+        self._carriers = {}
+        if (len(self.networks) == 1
+                and all(self.networks[0].vc_config.carries(t)
+                        for t in TrafficClass)):
+            # Single slice carrying every class: the per-packet dispatch
+            # through ``_network_for`` is a no-op — inject directly.
+            self.try_inject = self.networks[0].try_inject
 
     def _network_for(self, packet: Packet) -> MeshNetwork:
-        carriers = [n for n in self.networks if n.carries(packet)]
+        tclass = packet.traffic_class
+        carriers = self._carriers.get(tclass)
+        if carriers is None:
+            carriers = [n for n in self.networks
+                        if n.vc_config.carries(tclass)]
+            self._carriers[tclass] = carriers
         if not carriers:
             raise ValueError(f"no network carries {packet.traffic_class!r}")
         if len(carriers) == 1:
@@ -329,6 +343,26 @@ class NetworkSystem:
         """Switch every slice (back) to the event stepper (idle-only)."""
         for network in self.networks:
             network.use_event_stepper()
+
+    def use_batched_stepper(self) -> None:
+        """Switch every slice to the batched SoA stepper (idle-only)."""
+        for network in self.networks:
+            network.use_batched_stepper()
+
+    @property
+    def stepper_backend(self) -> str:
+        """Backend every slice runs on (they are switched in lockstep)."""
+        backends = {n.stepper_backend for n in self.networks}
+        if len(backends) != 1:
+            raise RuntimeError(
+                f"network slices disagree on the stepper backend: "
+                f"{sorted(backends)}")
+        return next(iter(backends))
+
+    def use_stepper(self, backend: str):
+        """Context manager: run every slice on ``backend``, restoring the
+        previous backend on exit (idle-only at both edges, nests)."""
+        return _StepperContext(self, backend)
 
     def audit(self) -> List[str]:
         """Run the full invariant audit on every slice now; returns the

@@ -147,6 +147,25 @@ class SeparableAllocator:
         """
         num_vcs = self._num_vcs
         n_in = self._num_inputs
+        if len(active) == 1:
+            # Uncontended input: stage 1 picks its first requesting VC
+            # at/after the pointer, stage 2 grants the lone contender.
+            # Same pointer updates as the general path below.
+            i = active[0]
+            mask = req_masks[i]
+            if mask & (mask - 1):
+                ptr = self._in_ptr[i]
+                for offset in range(num_vcs):
+                    vc = (ptr + offset) % num_vcs
+                    if mask >> vc & 1:
+                        break
+            else:
+                vc = mask.bit_length() - 1
+            out = req_outs[i][vc]
+            self._out_ptr[out] = (i + 1) % n_in
+            self._in_ptr[i] = (vc + 1) % num_vcs
+            grants.append((i, vc, out))
+            return
         s1_vc = self._s1_vc
         contenders = self._contenders
         out_seen = self._out_seen

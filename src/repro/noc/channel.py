@@ -20,7 +20,8 @@ class Channel:
 
     __slots__ = ("latency", "credit_delay", "src_router", "src_port",
                  "dst_router", "dst_port", "_flits", "_credits",
-                 "flits_carried", "watch", "tracer", "delivered_credits")
+                 "flits_carried", "watch", "tracer", "delivered_credits",
+                 "_dst_pos", "_src_out")
 
     def __init__(self, latency: int = 1, credit_delay: int = 1) -> None:
         if latency < 1:
@@ -45,6 +46,8 @@ class Channel:
         #: event-driven network reads it to wake the credit-receiving
         #: router (a blocked router sleeps until credits arrive).
         self.delivered_credits = 0
+        self._dst_pos = -1
+        self._src_out = None
 
     def connect(self, src_router, src_port: PortId,
                 dst_router, dst_port: PortId) -> None:
@@ -52,19 +55,28 @@ class Channel:
         self.src_port = src_port
         self.dst_router = dst_router
         self.dst_port = dst_port
+        # Endpoint fast-path handles, resolved lazily on first delivery
+        # (``Router.finalize`` runs after ``connect``, so the position
+        # tables do not exist yet here).
+        self._dst_pos = -1
+        self._src_out = None
 
     def send_flit(self, flit: Flit, vc: int, cycle: int) -> None:
-        self._flits.append((cycle + self.latency, flit, vc))
-        self.flits_carried += 1
-        if self.watch is not None:
+        flits = self._flits
+        # The watch only needs the idle -> busy transition (the active set
+        # is a set); skip the callback while already busy.
+        if self.watch is not None and not flits and not self._credits:
             self.watch(self)
+        flits.append((cycle + self.latency, flit, vc))
+        self.flits_carried += 1
         if self.tracer is not None:
             self.tracer.on_link(self, flit, cycle)
 
     def send_credit(self, vc: int, cycle: int) -> None:
-        self._credits.append((cycle + self.credit_delay, vc))
-        if self.watch is not None:
+        credits = self._credits
+        if self.watch is not None and not credits and not self._flits:
             self.watch(self)
+        credits.append((cycle + self.credit_delay, vc))
 
     @property
     def busy(self) -> bool:
@@ -95,15 +107,55 @@ class Channel:
         so the network knows whether any router just became busy."""
         delivered = 0
         flits = self._flits
-        while flits and flits[0][0] <= cycle:
-            _, flit, vc = flits.popleft()
-            self.dst_router.deliver_flit(self.dst_port, vc, flit, cycle)
-            delivered += 1
+        if flits and flits[0][0] <= cycle:
+            dst = self.dst_router
+            port = self.dst_port
+            pos = self._dst_pos
+            if pos < 0:
+                # Cache the input position once; endpoints without the
+                # Router internals (duck-typed test doubles) stay on the
+                # generic deliver_flit protocol.
+                in_pos = getattr(dst, "_in_pos", None)
+                if in_pos is not None:
+                    pos = self._dst_pos = in_pos[port]
+            popleft = flits.popleft
+            if pos < 0:
+                while True:
+                    _, flit, vc = popleft()
+                    dst.deliver_flit(port, vc, flit, cycle)
+                    delivered += 1
+                    if not flits or flits[0][0] > cycle:
+                        break
+            else:
+                while True:
+                    _, flit, vc = popleft()
+                    dst.deliver_channel_flit(pos, port, vc, flit, cycle)
+                    delivered += 1
+                    if not flits or flits[0][0] > cycle:
+                        break
         credits = self._credits
         ncred = 0
-        while credits and credits[0][0] <= cycle:
-            _, vc = credits.popleft()
-            self.src_router.deliver_credit(self.src_port, vc)
-            ncred += 1
+        if credits and credits[0][0] <= cycle:
+            src = self.src_router
+            out = self._src_out
+            if out is None:
+                out_ports = getattr(src, "out_ports", None)
+                if out_ports is not None:
+                    out = self._src_out = out_ports[self.src_port]
+            popleft = credits.popleft
+            if out is None:
+                while True:
+                    _, vc = popleft()
+                    src.deliver_credit(self.src_port, vc)
+                    ncred += 1
+                    if not credits or credits[0][0] > cycle:
+                        break
+            else:
+                while True:
+                    _, vc = popleft()
+                    src.deliver_credit_port(out, vc)
+                    ncred += 1
+                    if not credits or credits[0][0] > cycle:
+                        break
         self.delivered_credits = ncred
         return delivered

@@ -52,6 +52,39 @@ class NocParams:
     watchdog_cycles: int = 0
 
 
+#: Backend name -> switch method, shared by the ``use_stepper`` context
+#: managers of ``MeshNetwork``, ``NetworkSystem`` and ``Accelerator``.
+STEPPER_SWITCHES = {
+    "reference": "use_reference_stepper",
+    "event": "use_event_stepper",
+    "batched": "use_batched_stepper",
+}
+
+
+class _StepperContext:
+    """Re-entrant backend switch: applies ``backend`` on entry, restores
+    whatever was active before on exit.  Works on any object exposing
+    ``stepper_backend`` and the three ``use_*_stepper`` methods."""
+
+    def __init__(self, target, backend: str) -> None:
+        if backend not in STEPPER_SWITCHES:
+            raise ValueError(
+                f"unknown stepper backend {backend!r}; "
+                f"known: {sorted(STEPPER_SWITCHES)}")
+        self._target = target
+        self._backend = backend
+        self._previous: Optional[str] = None
+
+    def __enter__(self):
+        self._previous = self._target.stepper_backend
+        getattr(self._target, STEPPER_SWITCHES[self._backend])()
+        return self._target
+
+    def __exit__(self, *exc) -> bool:
+        getattr(self._target, STEPPER_SWITCHES[self._previous])()
+        return False
+
+
 class _SourcePort:
     """Injection state machine for one injection port of a node.
 
@@ -77,8 +110,16 @@ class MeshNetwork:
                  name: str = "net") -> None:
         self.mesh = mesh
         self.params = params
+        # Injection-path constants (``params`` is immutable after build).
+        self._channel_width = params.channel_width
+        self._source_cap = params.source_queue_flits
         self.vc_config = vc_config
         self.routing = routing
+        # Bound once; never reassigned.  ``None`` marks routings whose
+        # ``plan`` writes exactly the Packet routing-state defaults, so the
+        # injection hot path can skip the call for freshly built packets.
+        self._plan = (None if routing.plan_writes_defaults
+                      else routing.plan)
         self.name = name
         self.cycle = 0
         self.stats = NetworkStats()
@@ -109,9 +150,17 @@ class MeshNetwork:
         self._due_next: List[int] = []
         #: Debug escape hatch: run the reference exhaustive-scan stepper
         #: instead of the event-driven one (also flippable at idle via
-        #: ``use_reference_stepper``/``use_event_stepper``).
+        #: ``use_reference_stepper``/``use_event_stepper``).  The batched
+        #: struct-of-arrays core (``REPRO_BATCHED_STEPPER=1`` /
+        #: ``use_batched_stepper``) is the third backend; the reference
+        #: env var wins when both are set.
         self._scan_stepper = os.environ.get(
             "REPRO_REFERENCE_STEPPER") == "1"
+        self._batched = None
+        self._want_batched = (not self._scan_stepper and os.environ.get(
+            "REPRO_BATCHED_STEPPER") == "1")
+        self._event_stepper = not (self._scan_stepper
+                                   or self._want_batched)
 
         self.routers: Dict[Coord, Router] = {}
         self.channels: List[Channel] = []
@@ -138,18 +187,41 @@ class MeshNetwork:
         for idx, router in enumerate(self._router_list):
             router.net_index = idx
             router.finalize()
+        if self._want_batched:
+            from .batched import BatchedCore
+            self._batched = BatchedCore(self)
 
+        #: Source-side state is indexed by node row (mesh order, equal to
+        #: ``Router.net_index``): plain-list indexing keeps the per-cycle
+        #: drain loop and ``try_inject`` off the Coord-hashing path.
+        #: ``_sources`` stays as the coord-keyed view for audits/tests.
         self._sources: Dict[Coord, List[_SourcePort]] = {}
-        self._source_occupancy: Dict[Coord, int] = {}
-        self._source_rr: Dict[Coord, int] = {}
-        for coord in mesh.coords():
+        self._node_index: Dict[Coord, int] = {}
+        self._source_rows: List[Tuple[Coord, List[_SourcePort], Router]] = []
+        self._source_occ: List[int] = []
+        self._source_rr: List[int] = []
+        #: Per node, its sole source port when it has exactly one (the
+        #: common case) — lets ``try_inject`` skip the round-robin walk.
+        self._source_only: List[Optional[_SourcePort]] = []
+        #: Batched stepper only: nodes whose last drain pass moved nothing.
+        #: A fruitless pass has no side effects, and its outcome can only
+        #: change when a grant pops a flit out of an injection-port buffer
+        #: (space frees) or a fresh packet becomes the head of an idle
+        #: source port — both of which clear the flag.  The event/scan
+        #: steppers ignore it (they re-attempt every cycle).
+        self._source_stuck: List[bool] = []
+        for idx, coord in enumerate(mesh.coords()):
             ports = [
                 _SourcePort(injection_port(k))
                 for k in range(self.routers[coord].spec.num_inject_ports)
             ]
             self._sources[coord] = ports
-            self._source_occupancy[coord] = 0
-            self._source_rr[coord] = 0
+            self._node_index[coord] = idx
+            self._source_rows.append((coord, ports, self.routers[coord]))
+            self._source_occ.append(0)
+            self._source_rr.append(0)
+            self._source_only.append(ports[0] if len(ports) == 1 else None)
+            self._source_stuck.append(False)
 
         #: Opt-in invariant checker; ``None`` keeps the hot path at a
         #: single attribute test per cycle.
@@ -189,24 +261,46 @@ class MeshNetwork:
     def carries(self, packet: Packet) -> bool:
         return self.vc_config.carries(packet.traffic_class)
 
+    @property
+    def _source_occupancy(self) -> Dict[Coord, int]:
+        """Coord-keyed view of the per-node source occupancy (audits,
+        telemetry sampling — the cycle loop uses ``_source_occ``)."""
+        occ = self._source_occ
+        return {coord: occ[i] for coord, i in self._node_index.items()}
+
     def source_queue_occupancy(self, coord: Coord) -> int:
-        return self._source_occupancy[coord]
+        return self._source_occ[self._node_index[coord]]
 
     def try_inject(self, packet: Packet, cycle: int) -> bool:
         """Queue ``packet`` at its source network interface."""
-        num_flits = packet.num_flits(self.params.channel_width)
-        cap = self.params.source_queue_flits
-        occupancy = self._source_occupancy[packet.src]
+        num_flits = packet.num_flits(self._channel_width)
+        cap = self._source_cap
+        idx = self._node_index[packet.src]
+        occupancy = self._source_occ[idx]
         if cap is not None and occupancy + num_flits > cap:
             return False
-        self.routing.plan(packet, self._rng)
-        ports = self._sources[packet.src]
-        rr = self._source_rr[packet.src]
-        self._source_rr[packet.src] = (rr + 1) % len(ports)
-        ports[rr].fifo.append(packet)
-        self._source_occupancy[packet.src] = occupancy + num_flits
+        plan = self._plan
+        if plan is not None:
+            plan(packet, self._rng)
+        port = self._source_only[idx]
+        if port is None:
+            # Several injection ports: rotate round-robin between them.
+            # (A single port makes the rotation a fixed point — skipped.)
+            ports = self._source_rows[idx][1]
+            rr = self._source_rr[idx]
+            self._source_rr[idx] = (rr + 1) % len(ports)
+            port = ports[rr]
+        if (self._batched is not None and port.flits is None
+                and not port.fifo):
+            # The packet becomes the head of an idle port: the node's next
+            # drain pass can genuinely progress again.
+            self._source_stuck[idx] = False
+        port.fifo.append(packet)
+        self._source_occ[idx] = occupancy + num_flits
         self._source_flits += num_flits
-        self.stats.record_offer(packet, num_flits)
+        stats = self.stats
+        stats.packets_offered += 1
+        stats.flits_offered += num_flits
         if self.tracer is not None:
             self.tracer.on_offer(packet, self.name, cycle)
         return True
@@ -228,6 +322,9 @@ class MeshNetwork:
         self.stats.cycles = now
         if self._scan_stepper:
             self._step_scan(now)
+            return
+        if self._batched is not None:
+            self._step_batched(now)
             return
         heap = self._wake_heap
         if self._active_channels:
@@ -300,12 +397,11 @@ class MeshNetwork:
                         heappush(heap, (wake, idx))
             del due[:]
         if self._source_flits:
-            occupancy = self._source_occupancy
-            for coord, ports in self._sources.items():
-                if occupancy[coord]:
-                    router = self.routers[coord]
+            occ = self._source_occ
+            for idx, (coord, ports, router) in enumerate(self._source_rows):
+                if occ[idx]:
                     for port in ports:
-                        self._drain_source(coord, router, port, now)
+                        self._drain_source(idx, coord, router, port, now)
         checker = self.checker
         if checker is not None:
             checker.on_cycle(now)
@@ -342,12 +438,58 @@ class MeshNetwork:
                         busy = True
             self._routers_active = busy
         if self._source_flits:
-            occupancy = self._source_occupancy
-            for coord, ports in self._sources.items():
-                if occupancy[coord]:
-                    router = self.routers[coord]
+            occ = self._source_occ
+            for idx, (coord, ports, router) in enumerate(self._source_rows):
+                if occ[idx]:
                     for port in ports:
-                        self._drain_source(coord, router, port, now)
+                        self._drain_source(idx, coord, router, port, now)
+        checker = self.checker
+        if checker is not None:
+            checker.on_cycle(now)
+
+    def _step_batched(self, now: int) -> None:
+        """Batched struct-of-arrays cycle body (see ``repro.noc.batched``).
+
+        Twin of the event-driven body in ``step`` and the exhaustive
+        ``_step_scan``: channels deliver in insertion order, then one
+        vectorized sweep replaces the per-router phase, then sources
+        drain.  Semantic changes must land in all three backends; the
+        golden matrix in tests/test_stepper_equivalence.py compares them.
+        """
+        if self._active_channels:
+            scratch = self._channel_scratch
+            for channel in self._active_channels:
+                n = channel.deliver(now)
+                if n:
+                    self._buffered_flits += n
+                if not channel.busy:
+                    scratch.append(channel)
+            if scratch:
+                for channel in scratch:
+                    del self._active_channels[channel]
+                del scratch[:]
+        if self._buffered_flits:
+            self._batched.sweep(now)
+        if self._source_flits:
+            occ = self._source_occ
+            stuck = self._source_stuck
+            drain = self._drain_source
+            rows = self._source_rows
+            # Row unpacking deferred past the skip tests: at saturation
+            # almost every node is stuck, so the common iteration is two
+            # list reads.
+            for idx in range(len(rows)):
+                if occ[idx] and not stuck[idx]:
+                    coord, ports, router = rows[idx]
+                    progressed = False
+                    for port in ports:
+                        if drain(idx, coord, router, port, now):
+                            progressed = True
+                    if not progressed:
+                        # Fruitless pass (no side effects); skip this node
+                        # until a grant frees injection space or a fresh
+                        # head packet arrives.
+                        stuck[idx] = True
         checker = self.checker
         if checker is not None:
             checker.on_cycle(now)
@@ -358,25 +500,53 @@ class MeshNetwork:
         Only legal while idle: the event scheduler's per-router anchors are
         meaningless to the scan and vice versa.
         """
-        if not self.idle:
-            raise RuntimeError(
-                f"network {self.name!r}: stepper can only be switched while "
-                "idle")
+        self._switch_stepper()
         self._scan_stepper = True
-        del self._wake_heap[:]
-        del self._due_next[:]
 
     def use_event_stepper(self) -> None:
         """Switch (back) to the event-driven stepper.  Idle-only."""
+        self._switch_stepper()
+        self._event_stepper = True
+
+    def use_batched_stepper(self) -> None:
+        """Switch to the batched struct-of-arrays stepper.  Idle-only."""
+        self._switch_stepper()
+        from .batched import BatchedCore
+        self._batched = BatchedCore(self)
+
+    def _switch_stepper(self) -> None:
+        """Common teardown for a stepper switch: only legal while idle
+        (the schedulers' per-router anchors are mutually meaningless),
+        resets every backend to its inert state."""
         if not self.idle:
             raise RuntimeError(
                 f"network {self.name!r}: stepper can only be switched while "
                 "idle")
         self._scan_stepper = False
+        self._event_stepper = False
+        if self._batched is not None:
+            self._batched.detach()
+            self._batched = None
         del self._wake_heap[:]
         del self._due_next[:]
         for router in self._router_list:
             router.wake = NEVER
+        self._source_stuck[:] = [False] * len(self._source_stuck)
+
+    @property
+    def stepper_backend(self) -> str:
+        """Name of the active cycle-core backend."""
+        if self._scan_stepper:
+            return "reference"
+        if self._batched is not None:
+            return "batched"
+        return "event"
+
+    def use_stepper(self, backend: str):
+        """Context manager: run with ``backend`` ("reference" | "event" |
+        "batched"), restoring the previous backend on exit.  Nests; both
+        the switch and the restore are idle-only like ``use_*_stepper``."""
+        return _StepperContext(self, backend)
 
     def channel_utilization(self) -> Dict[Tuple[Coord, Coord], float]:
         """Flits carried per cycle for every directed mesh link — the
@@ -424,30 +594,33 @@ class MeshNetwork:
         """Channel watch hook: mark ``channel`` as carrying traffic."""
         self._active_channels[channel] = None
 
-    def _drain_source(self, coord: Coord, router: Router,
-                      port: _SourcePort, now: int) -> None:
+    def _drain_source(self, idx: int, coord: Coord, router: Router,
+                      port: _SourcePort, now: int) -> bool:
+        """Deliver at most one source flit into the router; returns whether
+        a flit was delivered (False implies the call mutated nothing)."""
         if port.flits is None:
             if not port.fifo:
-                return
+                return False
             packet = port.fifo[0]
             vc = self._pick_injection_vc(router, port.port_id, packet)
             if vc is None:
-                return
+                return False
             port.fifo.popleft()
-            port.flits = deque(packet.make_flits(self.params.channel_width))
+            port.flits = deque(packet.make_flits(self._channel_width))
             port.vc = vc
             packet.injected = now
             self.stats.record_injection(packet, len(port.flits))
         if router.injection_space(port.port_id, port.vc) > 0:
             flit = port.flits.popleft()
             router.deliver_flit(port.port_id, port.vc, flit, now)
-            self._source_occupancy[coord] -= 1
+            self._source_occ[idx] -= 1
             self._source_flits -= 1
             self._buffered_flits += 1
             self._routers_active = True
-            if not self._scan_stepper:
+            if self._event_stepper:
                 # The injected flit sleeps through the pipeline; schedule
-                # the router for the flit's ready time.
+                # the router for the flit's ready time.  (The batched core
+                # needs no wake: deliver_flit updated its mirrors.)
                 wake = now + router.pipeline_latency
                 if wake < router.wake:
                     router.wake = wake
@@ -455,15 +628,19 @@ class MeshNetwork:
             if not port.flits:
                 port.flits = None
                 port.vc = None
+            return True
+        return False
 
     def _pick_injection_vc(self, router: Router, port_id,
                            packet: Packet) -> Optional[int]:
         allowed = self.vc_config.allowed_vcs(packet.traffic_class,
                                              packet.group)
+        in_vcs = router.in_ports[port_id]
+        depth = router.buffer_depth
         best_vc = None
         best_space = 0
         for vc in allowed:
-            space = router.injection_space(port_id, vc)
+            space = depth - len(in_vcs[vc].buffer)
             if space > best_space:
                 best_vc, best_space = vc, space
         # Require room for the head flit now; the rest streams in over the

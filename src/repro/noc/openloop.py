@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 
 from .histogram import StreamingHistogram
 from .invariants import InvariantViolation, audit_system, format_system_state
-from .packet import Packet, TrafficClass, read_reply, read_request
+from .packet import READ_REQUEST_BYTES, Packet, TrafficClass, read_reply
 from .topology import Coord
 from .traffic import DestinationPattern
 
@@ -139,11 +139,21 @@ class OpenLoopRunner:
             return
         net = self.network
         cycle = net.cycle
+        rng = self._rng
+        rand = rng.random
+        rate = self.rate
+        pick = self.pattern.pick
+        inject = net.try_inject
+        # ``read_request`` unrolled: the wrapper is one call frame per
+        # injection attempt, and this loop dominates the harness.
+        make = Packet
+        size = READ_REQUEST_BYTES
+        tclass = TrafficClass.REQUEST
         for core in self.compute_nodes:
-            if self._rng.random() < self.rate:
-                dest = self.pattern.pick(core, self._rng)
-                packet = read_request(core, dest, created=cycle, payload=tag)
-                net.try_inject(packet, cycle)
+            if rand() < rate:
+                dest = pick(core, rng)
+                inject(make(core, dest, size, tclass, cycle, payload=tag),
+                       cycle)
         net.step()
 
     def _cycle_instrumented(self, telemetry, tag: Optional[str]) -> None:
@@ -154,11 +164,19 @@ class OpenLoopRunner:
         t = profiler.clock()
         net = self.network
         cycle = net.cycle
+        rng = self._rng
+        rand = rng.random
+        rate = self.rate
+        pick = self.pattern.pick
+        inject = net.try_inject
+        make = Packet
+        size = READ_REQUEST_BYTES
+        tclass = TrafficClass.REQUEST
         for core in self.compute_nodes:
-            if self._rng.random() < self.rate:
-                dest = self.pattern.pick(core, self._rng)
-                packet = read_request(core, dest, created=cycle, payload=tag)
-                net.try_inject(packet, cycle)
+            if rand() < rate:
+                dest = pick(core, rng)
+                inject(make(core, dest, size, tclass, cycle, payload=tag),
+                       cycle)
         t = profiler.add_since("injection", t)
         net.step()
         t = profiler.add_since("network", t)

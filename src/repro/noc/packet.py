@@ -75,10 +75,22 @@ class Packet:
     injected: int = -1
     ejected: int = -1
 
+    #: ``num_flits`` memo for the last queried channel width — the
+    #: injection path asks twice per packet (capacity check, then
+    #: ``make_flits``) with the same width.  The sentinel is negative so
+    #: an (invalid) width of 0 can never hit the memo unvalidated.
+    _nf_width: int = field(default=-1, init=False, repr=False, compare=False)
+    _nf: int = field(default=0, init=False, repr=False, compare=False)
+
     def num_flits(self, channel_width: int) -> int:
+        if channel_width == self._nf_width:
+            return self._nf
         if channel_width <= 0:
             raise ValueError("channel width must be positive")
-        return max(1, -(-self.size_bytes // channel_width))
+        n = max(1, -(-self.size_bytes // channel_width))
+        self._nf_width = channel_width
+        self._nf = n
+        return n
 
     def make_flits(self, channel_width: int) -> List["Flit"]:
         n = self.num_flits(channel_width)

@@ -97,6 +97,11 @@ class _OutputPort:
     def free_vc(self, allowed: Tuple[int, ...]) -> Optional[int]:
         """Pick a free VC among ``allowed``, rotating for fairness."""
         n = len(allowed)
+        if n == 1:
+            # Single-VC class (the paper's baseline): the rotation pointer
+            # is identically 0 mod 1, so the dict bookkeeping is dead.
+            vc = allowed[0]
+            return vc if self.owner[vc] is None else None
         pointer = self.vc_pointers.get(allowed, 0)
         for offset in range(n):
             vc = allowed[(pointer + offset) % n]
@@ -189,6 +194,12 @@ class Router:
         #: cycle: a *failed* ejection VC allocation still rotates the
         #: eject-port pointer, so sleeping would diverge from the scan.
         self._multi_eject = len(self._eject_ids) > 1
+        #: Batched struct-of-arrays core (``repro.noc.batched``) this
+        #: router mirrors its actionable-cell state into; ``None`` keeps
+        #: the delivery paths at a single attribute test.
+        self._soa = None
+        #: First cell index of this router in the SoA pools.
+        self._soa_base = 0
 
     # -- assembly ----------------------------------------------------------
 
@@ -240,9 +251,16 @@ class Router:
 
     def deliver_flit(self, port: PortId, vc: int, flit: Flit,
                      cycle: int) -> None:
-        """A flit arrives from a channel (or from the injection source)."""
-        state = self.in_ports[port][vc]
-        if len(state.buffer) >= self.buffer_depth and not isinstance(port, tuple):
+        """A flit arrives from a channel (or from the injection source).
+
+        Twin of :meth:`deliver_channel_flit` (which skips the port-to-
+        position lookup and the terminal-port branches); any semantic
+        change must land in both bodies.
+        """
+        pos = self._in_pos[port]
+        terminal = type(port) is tuple
+        state = self._ordered_inputs[pos][1][vc]
+        if not terminal and len(state.buffer) >= self.buffer_depth:
             raise RuntimeError(
                 f"buffer overflow at {self.coord} port {port} vc {vc}: "
                 "credit accounting violated")
@@ -252,19 +270,70 @@ class Router:
             # this same cycle for a channel delivery (channel phase precedes
             # the router phase), the next cycle for a source-drain injection
             # (the source phase follows it).
-            self._last_step = cycle if isinstance(port, tuple) else cycle - 1
+            self._last_step = cycle if terminal else cycle - 1
         # Uncontended per-hop latency = pipeline_latency + channel latency
         # (5 cycles for the 4-stage baseline, Section III-B).
         flit.ready = cycle + self.pipeline_latency
         state.buffer.append(flit)
         self.occupancy += 1
-        self._vc_masks[self._in_pos[port]] |= 1 << vc
+        self._vc_masks[pos] |= 1 << vc
+        soa = self._soa
+        if soa is not None and len(state.buffer) == 1:
+            # The flit became the cell's front: mirror its pipeline ready
+            # time (and, for a fresh head, the VA obligation) into the
+            # batched core's screen arrays.
+            ci = self._soa_base + pos * self.num_vcs + vc
+            soa.head_ready[ci] = flit.ready
+            if state.out_vc is None:
+                soa.va_need[ci] = True
+        tracer = self.tracer
+        if tracer is not None and flit.is_head:
+            tracer.on_hop_arrive(flit.packet, self.coord, port, cycle)
+
+    def deliver_channel_flit(self, pos: int, port: PortId, vc: int,
+                             flit: Flit, cycle: int) -> None:
+        """Channel-phase twin of :meth:`deliver_flit` with the input
+        position pre-resolved (channels cache it after the first hop) and
+        the terminal-port branches resolved statically — mesh channels
+        never end on a terminal port."""
+        state = self._ordered_inputs[pos][1][vc]
+        if len(state.buffer) >= self.buffer_depth:
+            raise RuntimeError(
+                f"buffer overflow at {self.coord} port {port} vc {vc}: "
+                "credit accounting violated")
+        if self.occupancy == 0:
+            self._last_step = cycle - 1
+        flit.ready = cycle + self.pipeline_latency
+        state.buffer.append(flit)
+        self.occupancy += 1
+        self._vc_masks[pos] |= 1 << vc
+        soa = self._soa
+        if soa is not None and len(state.buffer) == 1:
+            ci = self._soa_base + pos * self.num_vcs + vc
+            soa.head_ready[ci] = flit.ready
+            if state.out_vc is None:
+                soa.va_need[ci] = True
         tracer = self.tracer
         if tracer is not None and flit.is_head:
             tracer.on_hop_arrive(flit.packet, self.coord, port, cycle)
 
     def deliver_credit(self, port: PortId, vc: int) -> None:
-        self.out_ports[port].credits[vc] += 1
+        self.deliver_credit_port(self.out_ports[port], vc)
+
+    def deliver_credit_port(self, out, vc: int) -> None:
+        """Credit return with the output port pre-resolved (channels cache
+        their upstream endpoint after the first delivery)."""
+        credits = out.credits[vc] + 1
+        out.credits[vc] = credits
+        soa = self._soa
+        if soa is not None and credits == 1:
+            # 0 -> 1 transition: the owning input cell (if any) becomes a
+            # switch request again; flag it for the batched screen.
+            owner = out.owner[vc]
+            if owner is not None:
+                soa.va_ok[self._soa_base
+                          + self._in_pos[owner[0]] * self.num_vcs
+                          + owner[1]] = True
 
     def injection_space(self, port: PortId, vc: int) -> int:
         return self.buffer_depth - len(self.in_ports[port][vc].buffer)

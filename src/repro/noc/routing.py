@@ -28,6 +28,11 @@ class RoutingAlgorithm:
     #: Number of routing VCs the algorithm needs per protocol class.
     required_route_vcs = 1
 
+    #: True when ``plan`` writes exactly the ``Packet`` routing-state
+    #: defaults (group=ANY, intermediate=None, phase=1) — the network's
+    #: injection path may then skip the call for freshly built packets.
+    plan_writes_defaults = False
+
     def __init__(self, mesh: Mesh) -> None:
         self.mesh = mesh
 
@@ -55,6 +60,14 @@ class DorXY(RoutingAlgorithm):
     """Dimension-ordered XY routing (the baseline, Table III)."""
 
     group = RouteGroup.XY
+    plan_writes_defaults = True
+
+    def __init__(self, mesh: Mesh) -> None:
+        super().__init__(mesh)
+        # DOR is a pure function of (coord, dest); memoizing the per-hop
+        # decision takes the arithmetic off the cycle loop.  Bounded by
+        # the (coord, dest) pairs actually routed — at most mesh^2.
+        self._memo: dict = {}
 
     def plan(self, packet: Packet, rng: Optional[random.Random] = None) -> None:
         packet.group = RouteGroup.ANY  # any VC of the class may be used
@@ -62,13 +75,22 @@ class DorXY(RoutingAlgorithm):
         packet.phase = 1
 
     def next_port(self, coord: Coord, packet: Packet) -> Direction:
-        return self._dor_step(coord, packet.dest, "xy")
+        key = (coord, packet.dest)
+        port = self._memo.get(key)
+        if port is None:
+            port = self._memo[key] = self._dor_step(coord, key[1], "xy")
+        return port
 
 
 class DorYX(RoutingAlgorithm):
     """Dimension-ordered YX routing."""
 
     group = RouteGroup.YX
+    plan_writes_defaults = True
+
+    def __init__(self, mesh: Mesh) -> None:
+        super().__init__(mesh)
+        self._memo: dict = {}
 
     def plan(self, packet: Packet, rng: Optional[random.Random] = None) -> None:
         packet.group = RouteGroup.ANY
@@ -76,7 +98,11 @@ class DorYX(RoutingAlgorithm):
         packet.phase = 1
 
     def next_port(self, coord: Coord, packet: Packet) -> Direction:
-        return self._dor_step(coord, packet.dest, "yx")
+        key = (coord, packet.dest)
+        port = self._memo.get(key)
+        if port is None:
+            port = self._memo[key] = self._dor_step(coord, key[1], "yx")
+        return port
 
 
 class Romm2Phase(RoutingAlgorithm):

@@ -9,7 +9,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Tuple
+
+#: Interning pool for :class:`Coord` (see ``Coord.__new__``).
+_coord_pool: Dict[Tuple[int, int], "Coord"] = {}
 
 
 class Direction(str, Enum):
@@ -65,11 +68,38 @@ class Coord:
     x: int
     y: int
 
+    # Interning (see ``_coord_pool``): ``Coord(x, y)`` returns the one
+    # canonical instance per coordinate, so the Coord-keyed dict lookups
+    # all over the cycle loop hit the identity fast path instead of
+    # calling ``__eq__``.  Bounded by the distinct coordinates ever
+    # constructed (mesh-sized).
+    def __new__(cls, x: int = 0, y: int = 0) -> "Coord":
+        if cls is not Coord:
+            return object.__new__(cls)
+        self = _coord_pool.get((x, y))
+        if self is None:
+            self = object.__new__(cls)
+            _coord_pool[(x, y)] = self
+        return self
+
     def __post_init__(self) -> None:
         # Coords key every router/channel dict lookup on the hot path, so
         # the tuple hash is computed once.  Must equal the dataclass-
         # generated hash so dict/set iteration orders are unchanged.
         object.__setattr__(self, "_hash", hash((self.x, self.y)))
+
+    # Interned + immutable: copies are the object itself, and pickling
+    # reconstructs through ``__new__`` so unpickled coords are interned
+    # too (never create a blank instance and fill its __dict__ — that
+    # would mutate the canonical (0,0) instance).
+    def __reduce__(self):
+        return (Coord, (self.x, self.y))
+
+    def __copy__(self) -> "Coord":
+        return self
+
+    def __deepcopy__(self, memo) -> "Coord":
+        return self
 
     def neighbor(self, direction: Direction) -> "Coord":
         if direction is Direction.NORTH:

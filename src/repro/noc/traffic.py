@@ -13,6 +13,15 @@ from typing import List, Optional, Sequence
 
 from .topology import Coord
 
+#: ``Random.choice(seq)`` is exactly ``seq[self._randbelow(len(seq))]``,
+#: and ``_randbelow(n)`` is the rejection loop inlined below (draws
+#: ``getrandbits(n.bit_length())`` until the value lands under ``n``).
+#: Replicating it here — skipping the method binding and two wrapper
+#: frames per draw — consumes the identical bits from the identical RNG
+#: state, so traces stay bit-for-bit reproducible.  Pinned by
+#: ``test_pick_matches_random_choice``-style draw-identity assertions.
+_randbelow = random.Random._randbelow
+
 
 class DestinationPattern:
     """Chooses a destination for each generated packet."""
@@ -28,9 +37,18 @@ class UniformManyToFew(DestinationPattern):
         if not mc_nodes:
             raise ValueError("need at least one MC node")
         self.mc_nodes = list(mc_nodes)
+        self._n = len(self.mc_nodes)
+        self._k = self._n.bit_length()
 
     def pick(self, src: Coord, rng: random.Random) -> Coord:
-        return rng.choice(self.mc_nodes)
+        if type(rng) is random.Random:
+            n = self._n
+            getrandbits = rng.getrandbits
+            r = getrandbits(self._k)
+            while r >= n:
+                r = getrandbits(self._k)
+            return self.mc_nodes[r]
+        return rng.choice(self.mc_nodes)  # subclass / test double
 
 
 class HotspotManyToFew(DestinationPattern):

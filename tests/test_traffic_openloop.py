@@ -33,6 +33,29 @@ class TestPatterns:
         with pytest.raises(ValueError):
             UniformManyToFew([])
 
+    @pytest.mark.parametrize("n_mcs", (1, 2, 3, 4, 5, 7, 8))
+    def test_pick_matches_random_choice(self, n_mcs):
+        """Draw-identity contract of the inlined rejection sampler: for
+        any MC count (power of two or not), ``pick`` consumes exactly the
+        bits ``Random.choice`` would and returns the same node — so perf
+        work on the injection path can never shift an RNG stream."""
+        mcs = [Coord(x, 0) for x in range(n_mcs)]
+        pat = UniformManyToFew(mcs)
+        fast, oracle = random.Random(42), random.Random(42)
+        for _ in range(500):
+            assert pat.pick(Coord(0, 1), fast) == oracle.choice(mcs)
+        assert fast.getstate() == oracle.getstate()
+
+    def test_pick_falls_back_for_rng_subclasses(self):
+        """Test doubles (Random subclasses) keep the ``choice`` protocol."""
+
+        class Scripted(random.Random):
+            def choice(self, seq):
+                return seq[-1]
+
+        pat = UniformManyToFew(MCS)
+        assert pat.pick(Coord(0, 1), Scripted()) == MCS[-1]
+
     def test_hotspot_fraction(self):
         pat = HotspotManyToFew(MCS, hotspot_fraction=0.2)
         rng = random.Random(0)
