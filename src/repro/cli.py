@@ -11,6 +11,9 @@ Usage::
     python -m repro run --benchmark RD --trace --sample-interval 100 \
         --telemetry-out out/rd
     python -m repro report out/rd --heatmaps
+    python -m repro serve --cache ~/.cache/repro-noc --workers 2
+    python -m repro submit sweep --design TB-DOR --rates 0.01,0.03
+    python -m repro submit stats
 
 The CLI is a thin veneer over the public API; everything it prints can be
 obtained programmatically (see examples/).
@@ -20,7 +23,6 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
-import functools
 import json
 import sys
 from pathlib import Path
@@ -29,7 +31,7 @@ from typing import List, Optional
 from .area.chip import design_noc_area, throughput_effectiveness
 from .core.builder import NAMED_DESIGNS, checked_variant, design_by_name
 from .experiments import compare_designs, load_latency_curves
-from .noc.traffic import HotspotManyToFew, UniformManyToFew
+from .noc.traffic import named_pattern_factory
 from .parallel import log_progress
 from .system.accelerator import build_chip, perfect_chip
 from .telemetry import (COMPONENTS, TelemetryHub, TelemetrySpec, read_jsonl,
@@ -221,12 +223,8 @@ def _cmd_area(args) -> int:
 def _cmd_sweep(args) -> int:
     design = _apply_checks(_design(args.design), args)
     rates = [float(r) for r in args.rates.split(",")]
-    if args.hotspot:
-        pattern_name = "hotspot"
-        factory = functools.partial(HotspotManyToFew, hotspot_fraction=0.2)
-    else:
-        pattern_name = "uniform"
-        factory = UniformManyToFew
+    pattern_name = "hotspot" if args.hotspot else "uniform"
+    factory = named_pattern_factory(pattern_name)
     telemetry = _task_telemetry(args)
     (curve,) = load_latency_curves(
         [design], rates, factory, pattern_name=pattern_name,
@@ -263,8 +261,13 @@ def _cmd_explore(args) -> int:
     print(f"exploring preset '{spec.name}': {raw} raw points, "
           f"mix {','.join(spec.mix)}, seed {spec.seed} "
           f"({spec.seed_policy})")
-    result = dse.explore(spec, jobs=args.jobs, cache=args.cache,
-                         progress=log_progress if args.progress else None)
+    # explore_preset is the shared CLI/job-server entry point: routing
+    # through it is what makes served explorations bit-identical to this
+    # command's output.
+    result = dse.explore_preset(args.preset, seed=args.seed,
+                                jobs=args.jobs, cache=args.cache,
+                                progress=log_progress if args.progress
+                                else None)
 
     if result.rejected:
         rules: dict = {}
@@ -301,6 +304,97 @@ def _cmd_explore(args) -> int:
         written = result.write_artifacts(args.out)
         for name in sorted(written):
             print(f"wrote {name:17s} {written[name]}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the simulation job server (`repro serve`)."""
+    import asyncio
+
+    from .serve import JobServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host, port=args.port, socket_path=args.socket,
+        cache=args.cache if args.cache is not None else True,
+        cache_max_mb=args.cache_max_mb, max_pending=args.max_pending,
+        workers=args.workers, job_jobs=args.jobs)
+    server = JobServer(config)
+
+    async def _run() -> None:
+        await server.start()
+        where = (config.socket_path if config.socket_path is not None
+                 else "%s:%d" % server.address)
+        print(f"repro job server listening on {where} "
+              f"(workers={config.workers}, max_pending="
+              f"{config.max_pending})", file=sys.stderr)
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted; queued jobs dropped", file=sys.stderr)
+    return 0
+
+
+def _submit_client(args):
+    from .serve import ServeClient
+    return ServeClient(host=args.host, port=args.port,
+                       socket_path=args.socket, client_id=args.client)
+
+
+def _print_event_progress(event: dict) -> None:
+    origin = "cache" if event.get("cached") else "run"
+    print(f"[{event['index'] + 1:3d}/{event['total']}] "
+          f"{event['label']:40s} {event['seconds']:7.2f}s ({origin})",
+          file=sys.stderr)
+
+
+def _cmd_submit(args) -> int:
+    """Submit a job to a running server (`repro submit sweep ...`)."""
+    from .serve import JobFailed, JobRejected, ServeError
+
+    if args.job_kind == "stats":
+        try:
+            with _submit_client(args) as client:
+                stats = client.stats()
+        except (ServeError, OSError) as exc:
+            raise SystemExit(f"error: {exc}") from None
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+
+    if args.job_kind == "sweep":
+        job = {"kind": "sweep", "design": args.design,
+               "rates": [float(r) for r in args.rates.split(",")],
+               "pattern": "hotspot" if args.hotspot else "uniform",
+               "warmup": args.warmup, "measure": args.measure,
+               "seed": args.seed}
+    elif args.job_kind == "compare":
+        job = {"kind": "compare",
+               "designs": [n.strip() for n in args.designs.split(",")],
+               "warmup": args.warmup, "measure": args.measure,
+               "seed": args.seed}
+        if args.benchmarks:
+            job["benchmarks"] = [b.strip().upper()
+                                 for b in args.benchmarks.split(",")]
+    else:   # explore
+        job = {"kind": "explore", "preset": args.preset}
+        if args.seed is not None:
+            job["seed"] = args.seed
+
+    progress = _print_event_progress if args.progress else None
+    try:
+        with _submit_client(args) as client:
+            result = client.submit(job, priority=args.priority,
+                                   progress=progress,
+                                   max_retries=args.retries)
+    except JobFailed as exc:
+        label = f" (task {exc.label!r})" if exc.label else ""
+        raise SystemExit(f"error: job failed{label}: {exc}") from None
+    except JobRejected as exc:    # includes QueueSaturated
+        raise SystemExit(f"error: {exc}") from None
+    except (ServeError, OSError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(json.dumps(result, indent=2, sort_keys=True))
     return 0
 
 
@@ -464,6 +558,70 @@ def make_parser() -> argparse.ArgumentParser:
                          help="override the preset's base seed")
     parallel_args(explore)
 
+    from .serve import protocol as serve_protocol
+
+    def endpoint_args(p):
+        p.add_argument("--host", default=serve_protocol.DEFAULT_HOST)
+        p.add_argument("--port", type=int,
+                       default=serve_protocol.DEFAULT_PORT)
+        p.add_argument("--socket", default=None, metavar="PATH",
+                       help="unix socket path (overrides --host/--port)")
+
+    serve = sub.add_parser(
+        "serve", help="run the simulation job server")
+    endpoint_args(serve)
+    serve.add_argument("--cache", default=None, metavar="DIR",
+                       help="result cache directory (default: the "
+                            "shared REPRO_CACHE_DIR / XDG cache)")
+    serve.add_argument("--cache-max-mb", type=float, default=None,
+                       metavar="MB",
+                       help="LRU-evict the cache past this size budget")
+    serve.add_argument("--max-pending", type=positive_int, default=64,
+                       help="queued jobs before submissions are rejected "
+                            "with retry_after (default 64)")
+    serve.add_argument("--workers", type=positive_int, default=1,
+                       help="concurrent jobs (default 1)")
+    serve.add_argument("--jobs", type=positive_int, default=None,
+                       help="worker processes per job (run_tasks fan-out)")
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running server")
+    endpoint_args(submit)
+    submit.add_argument("--client", default="cli",
+                        help="client id for fairness accounting")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs first (default 0)")
+    submit.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="on back-pressure rejection, honour "
+                             "retry_after and resubmit up to N times")
+    submit.add_argument("--progress", action="store_true",
+                        help="print streamed per-task progress to stderr")
+    job_sub = submit.add_subparsers(dest="job_kind", required=True)
+
+    jsweep = job_sub.add_parser("sweep", help="open-loop sweep job")
+    jsweep.add_argument("--design", required=True)
+    jsweep.add_argument("--rates", default="0.005,0.02,0.04,0.06")
+    jsweep.add_argument("--hotspot", action="store_true")
+    jsweep.add_argument("--warmup", type=int, default=1000)
+    jsweep.add_argument("--measure", type=int, default=3000)
+    jsweep.add_argument("--seed", type=int, default=7)
+
+    jcompare = job_sub.add_parser("compare", help="design comparison job")
+    jcompare.add_argument("--designs", required=True,
+                          help="comma-separated design names")
+    jcompare.add_argument("--benchmarks", default=None,
+                          help="comma-separated benchmark abbreviations "
+                               "(default: full Table I mix)")
+    jcompare.add_argument("--warmup", type=int, default=400)
+    jcompare.add_argument("--measure", type=int, default=800)
+    jcompare.add_argument("--seed", type=int, default=11)
+
+    jexplore = job_sub.add_parser("explore", help="DSE preset job")
+    jexplore.add_argument("--preset", default="smoke")
+    jexplore.add_argument("--seed", type=int, default=None)
+
+    job_sub.add_parser("stats", help="print server + cache statistics")
+
     report = sub.add_parser(
         "report", help="inspect a telemetry artifact directory")
     report.add_argument("dir", help="directory holding summary.json "
@@ -484,6 +642,8 @@ _COMMANDS = {
     "area": _cmd_area,
     "sweep": _cmd_sweep,
     "explore": _cmd_explore,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
     "report": _cmd_report,
 }
 

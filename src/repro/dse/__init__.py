@@ -29,7 +29,7 @@ Quickstart::
 """
 
 from .engine import (SEED_POLICIES, ExplorationSpec, FidelityLadder,
-                     StageReport, explore)
+                     StageReport, explore, explore_preset)
 from .pareto import ParetoPoint, ParetoResult, dominates, pareto_frontier
 from .presets import (FIGURE2_DESIGNS, FULL_MIX, PRESETS, ROUND_MIX,
                       extended, figure2, preset, smoke)
@@ -44,6 +44,7 @@ __all__ = [
     "FIGURE2_DESIGNS", "FULL_MIX", "MESH_AXIS", "ParetoPoint",
     "ParetoResult", "PRESETS", "RejectedPoint", "ROUND_MIX",
     "SCHEMA_VERSION", "SearchSpace", "SEED_POLICIES", "StageOutcome",
-    "StageReport", "design_label", "dominates", "explore", "extended",
-    "figure2", "pareto_frontier", "preset", "smoke",
+    "StageReport", "design_label", "dominates", "explore",
+    "explore_preset", "extended", "figure2", "pareto_frontier", "preset",
+    "smoke",
 ]

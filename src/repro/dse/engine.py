@@ -134,6 +134,25 @@ def _keep_count(evaluated: int, target: int, floor: int) -> int:
     return min(evaluated, max(floor, target))
 
 
+def explore_preset(name: str, seed: Optional[int] = None,
+                   jobs: Optional[int] = None, cache=None,
+                   progress=None) -> ExplorationResult:
+    """Run a named preset exploration (``figure2``/``smoke``/...).
+
+    The single submission entry point shared by ``repro explore`` and the
+    job server: both resolve the preset, apply an optional seed override
+    and call :func:`explore`, so a served exploration is evaluated
+    exactly as a direct CLI run and its payload (which excludes host-side
+    timing) is bit-identical.  Unknown names raise ``KeyError`` with a
+    did-you-mean hint.
+    """
+    from .presets import preset
+    spec = preset(name)
+    if seed is not None:
+        spec = dataclasses.replace(spec, seed=seed)
+    return explore(spec, jobs=jobs, cache=cache, progress=progress)
+
+
 def explore(spec: ExplorationSpec, jobs: Optional[int] = None,
             cache=None, progress=None) -> ExplorationResult:
     """Run ``spec`` and return the ranked, Pareto-annotated result.

@@ -123,7 +123,12 @@ class StreamingHistogram:
             raise ValueError(f"percentile must be in (0, 100], got {p}")
         if not self.total:
             return 0
-        rank = max(1, -(-self.total * p // 100))  # ceil without floats
+        # ceil(total * p / 100) in exact integer arithmetic: expanding p
+        # into its integer numerator/denominator keeps bucket-boundary
+        # ranks exact where float multiplication would round (e.g. p50 of
+        # 2**53 + 1 samples lands one rank low in binary64).
+        num, den = p.as_integer_ratio()
+        rank = max(1, -(-self.total * num // (100 * den)))
         cumulative = 0
         for value, count in self._sorted_buckets():
             cumulative += count

@@ -90,6 +90,26 @@ class UniformRandom(DestinationPattern):
         return dest
 
 
+#: The destination patterns addressable by name — the vocabulary shared
+#: by the ``repro sweep`` CLI and job-server sweep submissions, so a
+#: pattern name on the wire resolves to the exact factory a direct
+#: harness call would use (``hotspot`` pins the paper's 20 % fraction).
+#: Every factory here must stay picklable for process-pool fan-out.
+NAMED_PATTERNS = ("uniform", "hotspot")
+
+
+def named_pattern_factory(name: str):
+    """Resolve a pattern name to its picklable factory; raises
+    ``KeyError`` for unknown names."""
+    if name == "uniform":
+        return UniformManyToFew
+    if name == "hotspot":
+        import functools
+        return functools.partial(HotspotManyToFew, hotspot_fraction=0.2)
+    raise KeyError(f"unknown traffic pattern {name!r}; "
+                   f"known: {list(NAMED_PATTERNS)}")
+
+
 class BernoulliInjector:
     """Per-node Bernoulli injection process at a given packet rate."""
 

@@ -27,15 +27,17 @@ rather than lambdas.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
 
 # ---------------------------------------------------------------------------
 # Stable hashing and seed derivation
@@ -135,16 +137,71 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-noc"
 
 
+def default_cache_budget() -> Optional[int]:
+    """``REPRO_CACHE_MAX_MB`` (MiB, may be fractional) as a byte budget,
+    or ``None`` for an unbounded cache."""
+    env = os.environ.get("REPRO_CACHE_MAX_MB")
+    if not env:
+        return None
+    try:
+        budget = float(env)
+    except ValueError:
+        raise ValueError(f"REPRO_CACHE_MAX_MB must be a number, "
+                         f"got {env!r}") from None
+    if budget <= 0:
+        raise ValueError(f"REPRO_CACHE_MAX_MB must be > 0, got {env!r}")
+    return int(budget * (1 << 20))
+
+
+#: Index and lock file names.  Deliberately without the ``.json`` entry
+#: extension so directory globs over entries never see them.
+INDEX_NAME = "INDEX"
+INDEX_LOCK_NAME = "INDEX.lock"
+INDEX_SCHEMA = 1
+#: A ``*.tmp.<pid>`` file this old can only be the orphan of a writer
+#: killed between ``open`` and ``os.replace`` — live writes last
+#: milliseconds.
+STALE_TMP_SECONDS = 3600.0
+#: ``put`` sweeps for orphans at most this often (tracked in the index).
+TMP_SWEEP_INTERVAL = 300.0
+#: A lock file this old belongs to a dead process and is broken.
+_LOCK_STALE_SECONDS = 10.0
+#: How long a writer waits for the lock before proceeding without it —
+#: the index is advisory and self-heals, so losing one update beats
+#: deadlocking the harness.
+_LOCK_TIMEOUT_SECONDS = 5.0
+
+
 class ResultCache:
     """Directory of ``<key>.json`` files holding task result payloads.
 
-    Writes are atomic (temp file + :func:`os.replace`), so concurrent
+    Entry writes are atomic (temp file + :func:`os.replace`), so concurrent
     workers and concurrent harness invocations can share one cache
     directory.  A corrupt or unreadable entry is treated as a miss.
+
+    Alongside the entries the cache keeps an on-disk index (``INDEX``)
+    mapping key → (size, last-used), maintained under a lock file with
+    stale-lock breaking so concurrent writers cannot corrupt it; a missing
+    or corrupt index is rebuilt from a directory scan, so it is never a
+    source of truth for correctness — only for fast :meth:`stats` and
+    LRU eviction.  With ``max_bytes`` set (or ``REPRO_CACHE_MAX_MB`` in
+    the environment), every :meth:`put` evicts least-recently-used
+    entries until the cache fits the budget; :meth:`get` refreshes an
+    entry's recency via ``os.utime``, which is lock-free and atomic.
+
+    A writer killed between opening its temp file and the ``os.replace``
+    leaves an orphan ``<key>.tmp.<pid>`` behind; those are age-swept on
+    :meth:`put` and unconditionally removed by :meth:`clear`.  Orphans are
+    never served: :meth:`get` only ever reads ``<key>.json``.
     """
 
-    def __init__(self, root: Union[str, Path, None] = None) -> None:
+    def __init__(self, root: Union[str, Path, None] = None,
+                 max_bytes: Optional[int] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.max_bytes = max_bytes if max_bytes is not None \
+            else default_cache_budget()
+        if self.max_bytes is not None and self.max_bytes <= 0:
+            raise ValueError(f"max_bytes must be > 0, got {self.max_bytes}")
 
     def path_for(self, key: str) -> Path:
         """Cache file path for ``key``."""
@@ -155,31 +212,177 @@ class ResultCache:
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
-                return json.load(fh)
+                payload = json.load(fh)
         except (OSError, ValueError):
             return None
+        try:
+            os.utime(path)      # LRU recency: eviction orders by mtime
+        except OSError:
+            pass                # entry evicted under us: still a valid hit
+        return payload
 
     def put(self, key: str, payload: dict) -> None:
-        """Atomically store ``payload`` under ``key``."""
+        """Atomically store ``payload`` under ``key``, update the index,
+        age-sweep orphaned temp files and enforce the size budget."""
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(payload, fh)
+        size = tmp.stat().st_size
         os.replace(tmp, path)
+        with self._locked():
+            index = self._read_index()
+            index["entries"][key] = {"bytes": size, "used": time.time()}
+            now = time.time()
+            if now - index.get("swept", 0.0) >= TMP_SWEEP_INTERVAL:
+                self.sweep_stale_tmp()
+                index["swept"] = now
+            if self.max_bytes is not None:
+                self._evict(index, keep=key)
+            self._write_index(index)
 
     def clear(self) -> int:
-        """Delete every cache entry; returns how many were removed."""
+        """Delete every cache entry (plus the index and any orphaned temp
+        files, whatever their age); returns how many entries were
+        removed."""
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*.json"):
                 path.unlink(missing_ok=True)
                 removed += 1
+            self.sweep_stale_tmp(max_age=0.0)
+            (self.root / INDEX_NAME).unlink(missing_ok=True)
         return removed
+
+    def sweep_stale_tmp(self, max_age: float = STALE_TMP_SECONDS) -> int:
+        """Remove ``*.tmp.<pid>`` orphans older than ``max_age`` seconds;
+        returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            now = time.time()
+            for path in self.root.glob("*.tmp.*"):
+                try:
+                    if now - path.stat().st_mtime < max_age:
+                        continue
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue    # a concurrent writer renamed/removed it
+        return removed
+
+    def stats(self) -> dict:
+        """Entry count, byte total and budget, from the index reconciled
+        against the directory (entries deleted externally are dropped)."""
+        if not self.root.is_dir():      # nothing cached yet
+            return {"entries": 0, "bytes": 0, "max_bytes": self.max_bytes}
+        with self._locked():
+            index = self._read_index()
+            entries = index["entries"]
+            for key in list(entries):
+                if not self.path_for(key).is_file():
+                    del entries[key]
+            self._write_index(index)
+        return {
+            "entries": len(entries),
+            "bytes": sum(e["bytes"] for e in entries.values()),
+            "max_bytes": self.max_bytes,
+        }
 
     def __len__(self) -> int:
         return len(list(self.root.glob("*.json"))) if self.root.is_dir() \
             else 0
+
+    # -- index internals (all under self._locked()) --------------------------
+
+    @contextlib.contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Exclusive advisory lock over the index file.
+
+        Taken via ``O_CREAT | O_EXCL``; a lock older than
+        ``_LOCK_STALE_SECONDS`` belongs to a dead process and is broken.
+        After ``_LOCK_TIMEOUT_SECONDS`` the writer proceeds *without* the
+        lock: a lost index update is harmless (the index self-heals from
+        the directory) while a stuck harness is not.
+        """
+        lock = self.root / INDEX_LOCK_NAME
+        deadline = time.monotonic() + _LOCK_TIMEOUT_SECONDS
+        fd = None
+        while fd is None:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    stale = (time.time() - lock.stat().st_mtime
+                             > _LOCK_STALE_SECONDS)
+                except OSError:
+                    continue    # holder released it: retry immediately
+                if stale:
+                    lock.unlink(missing_ok=True)
+                    continue
+                if time.monotonic() >= deadline:
+                    break
+                time.sleep(0.005)
+        try:
+            yield
+        finally:
+            if fd is not None:
+                os.close(fd)
+                lock.unlink(missing_ok=True)
+
+    def _read_index(self) -> dict:
+        try:
+            data = json.loads(
+                (self.root / INDEX_NAME).read_text(encoding="utf-8"))
+            if data.get("schema") == INDEX_SCHEMA \
+                    and isinstance(data.get("entries"), dict):
+                return data
+        except (OSError, ValueError):
+            pass
+        return self._rebuild_index()
+
+    def _rebuild_index(self) -> dict:
+        entries: Dict[str, dict] = {}
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                entries[path.stem] = {"bytes": st.st_size,
+                                      "used": st.st_mtime}
+        return {"schema": INDEX_SCHEMA, "swept": 0.0, "entries": entries}
+
+    def _write_index(self, index: dict) -> None:
+        tmp = self.root / f"{INDEX_NAME}.tmp.{os.getpid()}"
+        tmp.write_text(json.dumps(index), encoding="utf-8")
+        os.replace(tmp, self.root / INDEX_NAME)
+
+    def _evict(self, index: dict, keep: Optional[str] = None) -> int:
+        """Delete least-recently-used entries until the cache fits
+        ``max_bytes``; never evicts ``keep`` (the entry whose ``put``
+        triggered the pass).  Recency and sizes are refreshed from the
+        filesystem first, because ``get`` touches entries without the
+        lock."""
+        entries = index["entries"]
+        for key in list(entries):
+            try:
+                st = self.path_for(key).stat()
+            except OSError:
+                del entries[key]    # removed by a concurrent clear/evict
+                continue
+            entries[key] = {"bytes": st.st_size, "used": st.st_mtime}
+        total = sum(e["bytes"] for e in entries.values())
+        evicted = 0
+        for key in sorted(entries, key=lambda k: (entries[k]["used"], k)):
+            if total <= self.max_bytes:
+                break
+            if key == keep:
+                continue
+            self.path_for(key).unlink(missing_ok=True)
+            total -= entries.pop(key)["bytes"]
+            evicted += 1
+        return evicted
 
 
 def as_cache(cache: Union[None, bool, str, Path, ResultCache]
@@ -344,6 +547,25 @@ def _run_task(task: SimTask) -> str:
 # ---------------------------------------------------------------------------
 
 
+class TaskError(RuntimeError):
+    """A task's worker raised.  ``label`` and ``index`` name the failing
+    task; the worker's exception is chained as ``__cause__``.  Every
+    sibling task that completed before the failure propagated has already
+    been cached (when a cache is active), so a retry only re-runs the
+    failed and the never-started tasks.
+    """
+
+    def __init__(self, message: str, label: str, index: int) -> None:
+        super().__init__(message)
+        self.label = label
+        self.index = index
+
+
+def _task_error(task: SimTask, index: int, exc: BaseException) -> TaskError:
+    return TaskError(f"task {task.label!r} (index {index}) failed: "
+                     f"{type(exc).__name__}: {exc}", task.label, index)
+
+
 def run_tasks(tasks: Sequence[SimTask], jobs: Optional[int] = None,
               cache: Union[None, bool, str, Path, ResultCache] = None,
               progress: Optional[Callable[[TaskReport], None]] = None
@@ -351,11 +573,20 @@ def run_tasks(tasks: Sequence[SimTask], jobs: Optional[int] = None,
     """Execute ``tasks`` and return their result payloads, in task order.
 
     ``jobs=1`` runs everything inline; ``jobs=N`` fans uncached tasks out
-    over a process pool.  Results are collected positionally, so the output
-    order — and therefore everything downstream — is independent of worker
-    scheduling.  ``progress`` (if given) is called once per task with a
-    :class:`TaskReport` carrying the task's wall-clock time and whether it
-    was served from the cache.
+    over a process pool and consumes completions as they land
+    (out-of-order), so progress reporting and caching are never serialized
+    behind the slowest early task.  Results are collected positionally, so
+    the output order — and therefore everything downstream — is
+    independent of worker scheduling.  ``progress`` (if given) is called
+    once per task with a :class:`TaskReport` carrying the task's
+    wall-clock time and whether it was served from the cache.
+
+    Failure contract: a worker exception propagates as a
+    :class:`TaskError` naming the failing task, but only after every
+    already-completed sibling's payload has been cached — a failed sweep
+    never discards finished work.  Tasks that have not started are
+    cancelled; tasks still running are allowed to finish and are cached
+    too.
     """
     jobs = resolve_jobs(jobs)
     store = as_cache(cache)
@@ -369,10 +600,13 @@ def run_tasks(tasks: Sequence[SimTask], jobs: Optional[int] = None,
             keys[i] = task.cache_key()
             hit = store.get(keys[i])
             # A cached result only substitutes for running the task if the
-            # requested telemetry artifacts already exist on disk (the
-            # cache stores results, not artifacts).
+            # requested telemetry artifacts are complete on disk.  The
+            # hub writes summary.json last, so its presence — not the
+            # directory's, which a killed writer leaves half-filled —
+            # is the completion sentinel.
             artifact_dir = task.telemetry_dir()
-            artifacts_ok = artifact_dir is None or artifact_dir.is_dir()
+            artifacts_ok = artifact_dir is None or \
+                (artifact_dir / "summary.json").is_file()
             if hit is not None and artifacts_ok:
                 payloads[i] = hit
                 if progress is not None:
@@ -393,14 +627,41 @@ def run_tasks(tasks: Sequence[SimTask], jobs: Optional[int] = None,
     if pending:
         if jobs == 1 or len(pending) == 1:
             for i in pending:
-                _finish(i, _run_task(tasks[i]))
+                try:
+                    raw = _run_task(tasks[i])
+                except Exception as exc:
+                    raise _task_error(tasks[i], i, exc) from exc
+                _finish(i, raw)
         else:
             workers = min(jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [(i, pool.submit(_run_task, tasks[i]))
-                           for i in pending]
-                for i, future in futures:
-                    _finish(i, future.result())
+                index_of = {pool.submit(_run_task, tasks[i]): i
+                            for i in pending}
+                failure: Optional[Tuple[int, BaseException]] = None
+                for future in as_completed(index_of):
+                    i = index_of[future]
+                    try:
+                        raw = future.result()
+                    except Exception as exc:
+                        failure = (i, exc)
+                        break
+                    _finish(i, raw)
+                if failure is not None:
+                    # Fail fast without losing finished work: cancel
+                    # whatever has not started, let running tasks drain,
+                    # and cache every sibling that completed.
+                    for future in index_of:
+                        future.cancel()
+                    for future, i in index_of.items():
+                        if (i == failure[0] or future.cancelled()
+                                or payloads[i] is not None):
+                            continue
+                        try:
+                            _finish(i, future.result())
+                        except Exception:
+                            continue    # the first failure wins
+                    i, exc = failure
+                    raise _task_error(tasks[i], i, exc) from exc
     return payloads  # type: ignore[return-value]
 
 

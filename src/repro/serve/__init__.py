@@ -1,0 +1,51 @@
+"""Simulation-as-a-service: a long-running job server over the harness.
+
+The paper's conclusions come from sweeping thousands of design points;
+this package promotes :mod:`repro.parallel` and the DSE engine from a
+per-invocation process pool into a service that answers warm-cache
+design-point queries in milliseconds:
+
+* :mod:`repro.serve.protocol` — the newline-delimited-JSON wire
+  protocol: submission kinds (``sweep``/``compare``/``explore``),
+  validation with did-you-mean hints, event shapes and defaults;
+* :mod:`repro.serve.executor` — routes every accepted submission
+  through the *exact* library entry points a direct caller would use
+  (:func:`repro.experiments.load_latency_curves`,
+  :func:`repro.experiments.compare_designs`,
+  :func:`repro.dse.explore_preset`), so served results are bit-identical
+  to direct runs;
+* :mod:`repro.serve.queue` — priority scheduling with per-client
+  round-robin fairness inside each priority level;
+* :mod:`repro.serve.server` — the asyncio :class:`JobServer` (TCP or
+  unix socket): back-pressure with ``retry_after`` once the pending
+  queue saturates, streaming :class:`repro.parallel.TaskReport`
+  progress to subscribed clients, a shared SHA-keyed
+  :class:`repro.parallel.ResultCache` with LRU size budget, and a
+  ``stats`` endpoint;
+* :mod:`repro.serve.client` — a thin blocking client
+  (:class:`ServeClient`) underneath ``repro submit``.
+
+Quickstart::
+
+    # terminal 1
+    python -m repro serve --port 8642 --cache ~/.cache/repro-noc
+
+    # terminal 2
+    python -m repro submit sweep --design TB-DOR --rates 0.01,0.03
+    python -m repro submit explore --preset smoke
+    python -m repro submit stats
+"""
+
+from .client import (JobFailed, JobRejected, QueueSaturated, ServeClient,
+                     ServeError)
+from .executor import JOB_KINDS, JobSpecError, execute_job, validate_job
+from .protocol import DEFAULT_HOST, DEFAULT_PORT, PROTOCOL_VERSION
+from .queue import FairPriorityQueue
+from .server import JobRecord, JobServer, ServerConfig, ThreadedServer
+
+__all__ = [
+    "DEFAULT_HOST", "DEFAULT_PORT", "FairPriorityQueue", "JOB_KINDS",
+    "JobFailed", "JobRecord", "JobRejected", "JobServer", "JobSpecError",
+    "PROTOCOL_VERSION", "QueueSaturated", "ServeClient", "ServeError",
+    "ServerConfig", "ThreadedServer", "execute_job", "validate_job",
+]

@@ -1,0 +1,163 @@
+"""Submission validation and execution.
+
+``validate_job`` normalizes a raw submission into a fully-defaulted spec
+(rejecting unknown kinds, designs, benchmarks, patterns and presets with
+did-you-mean hints *before* the job enters the queue), and
+``execute_job`` runs a validated spec through the exact library entry
+points a direct caller would use.  That routing is the bit-identity
+guarantee: a served sweep is :func:`repro.experiments.load_latency_curves`,
+a served compare is :func:`repro.experiments.compare_designs`, a served
+exploration is :func:`repro.dse.explore_preset` — same task construction,
+same seed derivation, same SHA-keyed cache entries, so the server's
+payloads are field-for-field what the harness would have returned
+(explore payloads exclude host-side timing by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..core.builder import design_by_name
+from ..noc.traffic import NAMED_PATTERNS, named_pattern_factory
+from ..workloads.profiles import profile
+
+JOB_KINDS = ("sweep", "compare", "explore")
+
+#: Per-kind defaults, matching the underlying library defaults so an
+#: unadorned submission equals an unadorned direct call.
+SWEEP_DEFAULTS = {"pattern": "uniform", "warmup": 1000, "measure": 3000,
+                  "seed": 7}
+COMPARE_DEFAULTS = {"warmup": 400, "measure": 800, "seed": 11}
+
+
+class JobSpecError(ValueError):
+    """A submission failed validation (never enqueued)."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise JobSpecError(message)
+
+
+def _int_field(spec: Dict[str, Any], name: str, minimum: int = 0) -> int:
+    value = spec[name]
+    _require(isinstance(value, int) and not isinstance(value, bool)
+             and value >= minimum,
+             f"{name!r} must be an integer >= {minimum}, got {value!r}")
+    return value
+
+
+def _design_name(name: Any) -> str:
+    _require(isinstance(name, str), f"design must be a string, got {name!r}")
+    try:
+        design_by_name(name)
+    except KeyError as exc:
+        raise JobSpecError(exc.args[0]) from None
+    return name
+
+
+def validate_job(job: Any) -> Dict[str, Any]:
+    """Normalize a raw submission into a defaulted, validated spec.
+
+    Raises :class:`JobSpecError` with an actionable message for anything
+    the executor would choke on; the returned dict is safe to enqueue and
+    canonical enough to log.
+    """
+    _require(isinstance(job, dict), "job must be a JSON object")
+    kind = job.get("kind")
+    _require(kind in JOB_KINDS,
+             f"unknown job kind {kind!r}; known: {list(JOB_KINDS)}")
+
+    if kind == "sweep":
+        spec = {**SWEEP_DEFAULTS, **job}
+        spec["design"] = _design_name(spec.get("design"))
+        rates = spec.get("rates")
+        _require(isinstance(rates, (list, tuple)) and len(rates) > 0,
+                 "sweep needs a non-empty 'rates' list")
+        _require(all(isinstance(r, (int, float))
+                     and not isinstance(r, bool) and r >= 0
+                     for r in rates),
+                 f"rates must be numbers >= 0, got {rates!r}")
+        spec["rates"] = [float(r) for r in rates]
+        pattern = spec["pattern"]
+        try:
+            named_pattern_factory(pattern)
+        except KeyError as exc:
+            raise JobSpecError(exc.args[0]) from None
+        for name in ("warmup", "measure", "seed"):
+            spec[name] = _int_field(spec, name)
+        return spec
+
+    if kind == "compare":
+        spec = {**COMPARE_DEFAULTS, **job}
+        designs = spec.get("designs")
+        _require(isinstance(designs, (list, tuple)) and len(designs) > 0,
+                 "compare needs a non-empty 'designs' list")
+        spec["designs"] = [_design_name(n) for n in designs]
+        benchmarks = spec.get("benchmarks")
+        if benchmarks is not None:
+            _require(isinstance(benchmarks, (list, tuple))
+                     and len(benchmarks) > 0,
+                     "'benchmarks' must be a non-empty list when given")
+            for abbr in benchmarks:
+                try:
+                    profile(abbr)
+                except KeyError as exc:
+                    raise JobSpecError(str(exc.args[0])) from None
+            spec["benchmarks"] = list(benchmarks)
+        for name in ("warmup", "measure", "seed"):
+            spec[name] = _int_field(spec, name)
+        return spec
+
+    # kind == "explore"
+    spec = dict(job)
+    from ..dse import PRESETS
+    from ..core.builder import _did_you_mean
+    preset_name = spec.get("preset")
+    if preset_name not in PRESETS:
+        hint = _did_you_mean(str(preset_name), PRESETS)
+        raise JobSpecError(f"unknown preset {preset_name!r};{hint} "
+                           f"known: {sorted(PRESETS)}")
+    if spec.get("seed") is not None:
+        spec["seed"] = _int_field(spec, "seed")
+    else:
+        spec["seed"] = None
+    return spec
+
+
+def execute_job(spec: Dict[str, Any], *, jobs: Optional[int] = None,
+                cache=None, progress: Optional[Callable] = None
+                ) -> Dict[str, Any]:
+    """Run a validated spec and return its result payload.
+
+    ``jobs``/``cache``/``progress`` forward to
+    :func:`repro.parallel.run_tasks` through the library entry point for
+    the spec's kind; the payload carries the same ``to_json`` encoding a
+    direct caller would serialize.
+    """
+    kind = spec["kind"]
+    if kind == "sweep":
+        from ..experiments import load_latency_curves
+        (curve,) = load_latency_curves(
+            [design_by_name(spec["design"])], spec["rates"],
+            named_pattern_factory(spec["pattern"]),
+            pattern_name=spec["pattern"], warmup=spec["warmup"],
+            measure=spec["measure"], seed=spec["seed"], jobs=jobs,
+            cache=cache, progress=progress)
+        return {"kind": "sweep", "curve": curve.to_json()}
+    if kind == "compare":
+        from ..experiments import compare_designs
+        profiles = ([profile(a) for a in spec["benchmarks"]]
+                    if spec.get("benchmarks") else None)
+        comparison = compare_designs(
+            [design_by_name(n) for n in spec["designs"]],
+            profiles=profiles, warmup=spec["warmup"],
+            measure=spec["measure"], seed=spec["seed"], jobs=jobs,
+            cache=cache, progress=progress)
+        return {"kind": "compare", "comparison": comparison.to_json()}
+    if kind == "explore":
+        from ..dse import explore_preset
+        result = explore_preset(spec["preset"], seed=spec.get("seed"),
+                                jobs=jobs, cache=cache, progress=progress)
+        return {"kind": "explore", "exploration": result.to_json()}
+    raise JobSpecError(f"unknown job kind {kind!r}")

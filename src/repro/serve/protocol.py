@@ -1,0 +1,60 @@
+"""Wire protocol for the job server: newline-delimited JSON.
+
+Every message — request or event — is one JSON object on one line,
+UTF-8, ``\\n``-terminated.  A connection carries a sequence of requests;
+a streaming submission (``"stream": true``) holds the connection and
+receives ``progress`` events followed by one terminal ``done``/``failed``
+event.
+
+Requests (``cmd``):
+
+``ping``
+    → ``{"ok": true, "event": "pong", "protocol": 1}``
+``submit``
+    ``{"cmd": "submit", "client": "...", "priority": 0,
+    "stream": true, "job": {"kind": "sweep"|"compare"|"explore", ...}}``
+    → ``accepted`` (with ``job_id``), ``rejected`` (back-pressure, with
+    ``retry_after`` seconds) or ``invalid`` (validation error).
+``status`` / ``result``
+    ``{"cmd": "status", "job_id": "..."}`` → the job record / its result.
+``stats``
+    → queue depth, running/served counters, cache entry/byte totals.
+``shutdown``
+    → ``{"ok": true, "event": "bye"}``; the server finishes running
+    jobs, drops queued ones and exits.
+
+Back-pressure contract: once the pending queue holds ``max_pending``
+jobs, every further submission is rejected with ``retry_after`` — an
+estimate of when a slot frees up (EMA of recent job wall-clock scaled by
+queue depth over worker count) — instead of growing the queue without
+bound.  Rejection is explicit and cheap; clients are expected to back
+off and resubmit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+PROTOCOL_VERSION = 1
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+#: Largest accepted request line (1 MiB): submissions are small command
+#: objects, so anything bigger is a framing error, not a workload.
+MAX_LINE_BYTES = 1 << 20
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One protocol message as a complete wire line."""
+    return (json.dumps(message, separators=(",", ":"),
+                       sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line; raises ``ValueError`` on malformed input."""
+    message = json.loads(line.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError("protocol message must be a JSON object")
+    return message

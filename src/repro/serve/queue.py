@@ -1,0 +1,61 @@
+"""Priority scheduling with per-client fairness.
+
+Jobs are grouped into priority levels (higher value = served first).
+Inside a level, clients take turns round-robin — one job per turn, FIFO
+within a client — so a client that dumps a hundred submissions cannot
+starve a client that submitted one.  Scheduling is fully deterministic:
+level order, then client rotation order (arrival order, rotated), then
+submission order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Any, Deque, Dict, Optional
+
+
+class FairPriorityQueue:
+    """Deterministic priority + round-robin-per-client job queue."""
+
+    def __init__(self) -> None:
+        #: priority -> client -> FIFO of jobs; the OrderedDict's key
+        #: order IS the round-robin rotation for that level.
+        self._levels: Dict[int, "OrderedDict[str, Deque[Any]]"] = {}
+        self._size = 0
+
+    def push(self, job: Any) -> None:
+        """Enqueue ``job`` (reads ``job.priority`` and ``job.client``)."""
+        level = self._levels.setdefault(job.priority, OrderedDict())
+        level.setdefault(job.client, deque()).append(job)
+        self._size += 1
+
+    def pop(self) -> Optional[Any]:
+        """Dequeue the next job, or ``None`` when empty: highest
+        priority level first, then the level's least-recently-served
+        client, then that client's oldest job."""
+        for priority in sorted(self._levels, reverse=True):
+            level = self._levels[priority]
+            if not level:
+                continue
+            client, jobs = next(iter(level.items()))
+            job = jobs.popleft()
+            if jobs:
+                level.move_to_end(client)   # rotate: one job per turn
+            else:
+                del level[client]
+            if not level:
+                del self._levels[priority]
+            self._size -= 1
+            return job
+        return None
+
+    def pending_by_client(self) -> Dict[str, int]:
+        """Queued-job counts per client (for the stats endpoint)."""
+        counts: Dict[str, int] = {}
+        for level in self._levels.values():
+            for client, jobs in level.items():
+                counts[client] = counts.get(client, 0) + len(jobs)
+        return counts
+
+    def __len__(self) -> int:
+        return self._size

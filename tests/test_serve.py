@@ -1,0 +1,428 @@
+"""Job-server tests: golden bit-identity, back-pressure, fairness.
+
+The load-bearing guarantees pinned here:
+
+* results served through the job server are **bit-identical** to direct
+  library calls — cold cache and warm cache, ``job_jobs`` 1 and 4;
+* a warm-cache submission is answered **without re-simulation** (the
+  terminal event's stats report ``executed == 0``);
+* saturating the pending queue triggers the documented back-pressure
+  response (``rejected`` + ``retry_after``) instead of unbounded queue
+  growth;
+* scheduling is priority-then-round-robin fair across clients;
+* a failing job surfaces the failing task's label to the client.
+
+The blocked-executor tests monkeypatch ``repro.serve.server.execute_job``
+— the :class:`ThreadedServer` runs in-process, so the patch is visible to
+the worker coroutines.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.experiments import compare_designs, load_latency_curves
+from repro.noc.traffic import named_pattern_factory
+from repro.parallel import TaskError
+from repro.serve import (FairPriorityQueue, JobFailed, JobSpecError,
+                         QueueSaturated, ServeClient, ServerConfig,
+                         ThreadedServer, validate_job)
+from repro.serve.executor import COMPARE_DEFAULTS, SWEEP_DEFAULTS
+
+SWEEP_JOB = {"kind": "sweep", "design": "CP-DOR", "rates": [0.01, 0.02],
+             "warmup": 50, "measure": 100}
+COMPARE_JOB = {"kind": "compare", "designs": ["CP-DOR", "TB-DOR"],
+               "benchmarks": ["RD"], "warmup": 60, "measure": 120}
+
+
+def serve(tmp_path, name="cache", **overrides):
+    """A ThreadedServer on an OS-assigned port with a fresh cache dir."""
+    config = ServerConfig(port=0, cache=str(tmp_path / name), **overrides)
+    return ThreadedServer(config)
+
+
+def connect(server, **kw) -> ServeClient:
+    host, port = server.address
+    return ServeClient(host=host, port=port, **kw)
+
+
+def wait_until(predicate, timeout=20.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError("condition not reached within "
+                         f"{timeout}s: {predicate}")
+
+
+class _Record:
+    """A minimal queue entry (the queue only reads .priority/.client)."""
+
+    def __init__(self, client, priority=0, tag=None):
+        self.client = client
+        self.priority = priority
+        self.tag = tag
+
+
+class TestFairPriorityQueue:
+    def test_higher_priority_first(self):
+        q = FairPriorityQueue()
+        q.push(_Record("a", priority=0, tag="low"))
+        q.push(_Record("a", priority=5, tag="high"))
+        q.push(_Record("a", priority=-1, tag="neg"))
+        assert [q.pop().tag for _ in range(3)] == ["high", "low", "neg"]
+        assert q.pop() is None
+
+    def test_round_robin_within_level(self):
+        q = FairPriorityQueue()
+        for tag in ("a1", "a2", "a3"):
+            q.push(_Record("alice", tag=tag))
+        q.push(_Record("bob", tag="b1"))
+        # alice's backlog cannot starve bob: one job per client per turn.
+        assert [q.pop().tag for _ in range(4)] == ["a1", "b1", "a2", "a3"]
+
+    def test_fifo_within_client(self):
+        q = FairPriorityQueue()
+        for tag in ("first", "second", "third"):
+            q.push(_Record("solo", tag=tag))
+        assert [q.pop().tag for _ in range(3)] == ["first", "second",
+                                                  "third"]
+
+    def test_len_and_pending_by_client(self):
+        q = FairPriorityQueue()
+        q.push(_Record("a", priority=1))
+        q.push(_Record("a", priority=0))
+        q.push(_Record("b", priority=0))
+        assert len(q) == 3
+        assert q.pending_by_client() == {"a": 2, "b": 1}
+        q.pop()
+        assert len(q) == 2
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(JobSpecError, match="unknown job kind"):
+            validate_job({"kind": "teleport"})
+
+    def test_unknown_design_carries_hint(self):
+        with pytest.raises(JobSpecError, match="unknown design"):
+            validate_job({"kind": "sweep", "design": "TB-DORR",
+                          "rates": [0.01]})
+
+    def test_bad_rates(self):
+        with pytest.raises(JobSpecError, match="rates"):
+            validate_job({"kind": "sweep", "design": "CP-DOR",
+                          "rates": []})
+        with pytest.raises(JobSpecError, match="rates"):
+            validate_job({"kind": "sweep", "design": "CP-DOR",
+                          "rates": [0.01, "fast"]})
+
+    def test_unknown_pattern(self):
+        with pytest.raises(JobSpecError, match="unknown traffic pattern"):
+            validate_job({"kind": "sweep", "design": "CP-DOR",
+                          "rates": [0.01], "pattern": "tornado"})
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(JobSpecError, match="unknown benchmark"):
+            validate_job({"kind": "compare", "designs": ["CP-DOR"],
+                          "benchmarks": ["NOPE"]})
+
+    def test_unknown_preset(self):
+        with pytest.raises(JobSpecError, match="unknown preset"):
+            validate_job({"kind": "explore", "preset": "smokey"})
+
+    def test_defaults_match_library_defaults(self):
+        # An unadorned submission must equal an unadorned direct call;
+        # these literals pin the library signatures' defaults.
+        spec = validate_job({"kind": "sweep", "design": "CP-DOR",
+                             "rates": [0.01]})
+        assert {k: spec[k] for k in SWEEP_DEFAULTS} == SWEEP_DEFAULTS
+        spec = validate_job({"kind": "compare", "designs": ["CP-DOR"]})
+        assert {k: spec[k] for k in COMPARE_DEFAULTS} == COMPARE_DEFAULTS
+
+
+def direct_sweep(cache):
+    """The direct-call twin of SWEEP_JOB."""
+    from repro.core.builder import design_by_name
+    (curve,) = load_latency_curves(
+        [design_by_name("CP-DOR")],
+        SWEEP_JOB["rates"], named_pattern_factory("uniform"),
+        pattern_name="uniform", warmup=SWEEP_JOB["warmup"],
+        measure=SWEEP_JOB["measure"], seed=SWEEP_DEFAULTS["seed"],
+        cache=cache)
+    return {"kind": "sweep", "curve": curve.to_json()}
+
+
+def direct_compare(cache):
+    """The direct-call twin of COMPARE_JOB."""
+    from repro.core.builder import design_by_name
+    from repro.workloads.profiles import profile
+    comparison = compare_designs(
+        [design_by_name(n) for n in COMPARE_JOB["designs"]],
+        profiles=[profile("RD")], warmup=COMPARE_JOB["warmup"],
+        measure=COMPARE_JOB["measure"], seed=COMPARE_DEFAULTS["seed"],
+        cache=cache)
+    return {"kind": "compare", "comparison": comparison.to_json()}
+
+
+class TestServedBitIdentity:
+    """Served results == direct library results, byte for byte."""
+
+    @pytest.mark.parametrize("job_jobs", [None, 4],
+                             ids=["jobs1", "jobs4"])
+    def test_sweep_cold_and_warm(self, tmp_path, job_jobs):
+        direct = direct_sweep(str(tmp_path / "direct"))
+        with serve(tmp_path, job_jobs=job_jobs) as server:
+            with connect(server) as client:
+                events = []
+                cold = client.submit(SWEEP_JOB, events=events)
+                assert json.dumps(cold, sort_keys=True) == \
+                    json.dumps(direct, sort_keys=True)
+                done = events[-1]
+                assert done["event"] == "done"
+                assert done["stats"]["executed"] == len(SWEEP_JOB["rates"])
+
+                warm = client.submit(SWEEP_JOB, events=(warm_events := []))
+                assert json.dumps(warm, sort_keys=True) == \
+                    json.dumps(direct, sort_keys=True)
+                warm_done = warm_events[-1]
+                assert warm_done["stats"]["executed"] == 0
+                assert warm_done["stats"]["cached"] == \
+                    len(SWEEP_JOB["rates"])
+
+    def test_compare_cold_and_warm(self, tmp_path):
+        direct = direct_compare(str(tmp_path / "direct"))
+        with serve(tmp_path) as server:
+            with connect(server) as client:
+                cold = client.submit(COMPARE_JOB)
+                assert json.dumps(cold, sort_keys=True) == \
+                    json.dumps(direct, sort_keys=True)
+                warm = client.submit(COMPARE_JOB, events=(events := []))
+                assert json.dumps(warm, sort_keys=True) == \
+                    json.dumps(direct, sort_keys=True)
+                assert events[-1]["stats"]["executed"] == 0
+
+    def test_progress_events_stream_per_task(self, tmp_path):
+        with serve(tmp_path) as server:
+            with connect(server) as client:
+                events = []
+                client.submit(SWEEP_JOB, events=events)
+        names = [e["event"] for e in events]
+        assert names[0] == "accepted" and names[-1] == "done"
+        progress = [e for e in events if e["event"] == "progress"]
+        assert len(progress) == len(SWEEP_JOB["rates"])
+        assert all(not p["cached"] for p in progress)
+        assert {p["label"] for p in progress} == {
+            f"CP-DOR/uniform@{r:g}" for r in SWEEP_JOB["rates"]}
+
+
+class TestServedExploreBitIdentity:
+    def test_smoke_preset_served_equals_direct(self, tmp_path):
+        """One cold exploration through the server, then the direct
+        engine against the same cache: identical payloads, and the
+        served warm re-submission never re-simulates."""
+        from repro.dse import explore_preset
+        cache = str(tmp_path / "cache")
+        with serve(tmp_path) as server:
+            with connect(server) as client:
+                cold = client.submit({"kind": "explore",
+                                      "preset": "smoke"})
+                direct = explore_preset("smoke", cache=cache).to_json()
+                assert json.dumps(cold["exploration"], sort_keys=True) \
+                    == json.dumps(direct, sort_keys=True)
+                warm = client.submit({"kind": "explore",
+                                      "preset": "smoke"},
+                                     events=(events := []))
+                assert json.dumps(warm, sort_keys=True) == \
+                    json.dumps(cold, sort_keys=True)
+                assert events[-1]["stats"]["executed"] == 0
+                assert events[-1]["stats"]["cached"] > 0
+
+
+class _GatedExecutor:
+    """execute_job stand-in that blocks until released (orders recorded)."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.ran = []
+        self.lock = threading.Lock()
+
+    def __call__(self, spec, *, jobs=None, cache=None, progress=None):
+        if not self.release.wait(timeout=30):
+            raise RuntimeError("gated executor never released")
+        with self.lock:
+            self.ran.append(spec.get("tag"))
+        return {"kind": spec["kind"], "tag": spec.get("tag")}
+
+
+@pytest.fixture
+def gated(monkeypatch):
+    executor = _GatedExecutor()
+    monkeypatch.setattr("repro.serve.server.execute_job", executor)
+    return executor
+
+
+def submit_raw(client, job, *, client_id="anon", priority=0):
+    """Non-streaming submission: returns the immediate reply."""
+    return client.request({"cmd": "submit", "client": client_id,
+                           "priority": priority, "stream": False,
+                           "job": job})
+
+
+class TestBackPressure:
+    def test_saturated_queue_rejects_with_retry_after(self, tmp_path,
+                                                      gated):
+        with serve(tmp_path, max_pending=2, workers=1) as server:
+            with connect(server) as client:
+                # Fill the worker, then the queue.
+                first = submit_raw(client, SWEEP_JOB)
+                assert first["event"] == "accepted"
+                wait_until(lambda: client.stats()["running"] == 1)
+                for _ in range(2):
+                    assert submit_raw(client, SWEEP_JOB)["event"] == \
+                        "accepted"
+                rejected = submit_raw(client, SWEEP_JOB)
+                assert rejected["event"] == "rejected"
+                assert rejected["ok"] is False
+                assert rejected["retry_after"] > 0
+                assert rejected["pending"] == 2
+                stats = client.stats()
+                assert stats["counters"]["rejected"] == 1
+                assert stats["pending"] == 2    # the queue did not grow
+
+                # Streaming client sees the same contract as an exception.
+                with connect(server) as other:
+                    with pytest.raises(QueueSaturated) as excinfo:
+                        other.submit(SWEEP_JOB)
+                    assert excinfo.value.retry_after > 0
+
+                gated.release.set()
+                wait_until(lambda: client.stats()["counters"]
+                           ["completed"] == 3)
+                # Once drained, submissions are accepted again.
+                assert submit_raw(client, SWEEP_JOB)["event"] == "accepted"
+                wait_until(lambda: client.stats()["counters"]
+                           ["completed"] == 4)
+
+    def test_rejection_is_cheap_and_does_not_queue(self, tmp_path, gated):
+        with serve(tmp_path, max_pending=1, workers=1) as server:
+            with connect(server) as client:
+                submit_raw(client, SWEEP_JOB)
+                wait_until(lambda: client.stats()["running"] == 1)
+                submit_raw(client, SWEEP_JOB)
+                replies = [submit_raw(client, SWEEP_JOB)
+                           for _ in range(10)]
+                assert all(r["event"] == "rejected" for r in replies)
+                assert client.stats()["pending"] == 1
+                gated.release.set()
+
+
+class TestFairScheduling:
+    def test_round_robin_across_clients_end_to_end(self, tmp_path, gated):
+        def tagged(tag):
+            return {**SWEEP_JOB, "tag": tag}
+
+        with serve(tmp_path, max_pending=16, workers=1) as server:
+            with connect(server) as client:
+                # First job occupies the worker while the rest queue up.
+                submit_raw(client, tagged("a0"), client_id="alice")
+                wait_until(lambda: client.stats()["running"] == 1)
+                for tag in ("a1", "a2", "a3"):
+                    submit_raw(client, tagged(tag), client_id="alice")
+                submit_raw(client, tagged("b1"), client_id="bob")
+                submit_raw(client, tagged("hi"), client_id="carol",
+                           priority=10)
+                assert client.stats()["pending_by_client"] == {
+                    "alice": 3, "bob": 1, "carol": 1}
+                gated.release.set()
+                wait_until(lambda: client.stats()["counters"]
+                           ["completed"] == 6)
+        # Priority first, then alice/bob alternate, then alice's backlog.
+        assert gated.ran == ["a0", "hi", "a1", "b1", "a2", "a3"]
+
+
+class TestFailurePath:
+    def test_task_error_label_reaches_client(self, tmp_path, monkeypatch):
+        def explode(spec, *, jobs=None, cache=None, progress=None):
+            raise TaskError("task 'poison' (index 2) failed: boom",
+                            label="poison", index=2)
+
+        monkeypatch.setattr("repro.serve.server.execute_job", explode)
+        with serve(tmp_path) as server:
+            with connect(server) as client:
+                with pytest.raises(JobFailed) as excinfo:
+                    client.submit(SWEEP_JOB)
+                assert excinfo.value.label == "poison"
+                assert "poison" in str(excinfo.value)
+                stats = client.stats()
+                assert stats["counters"]["failed"] == 1
+                # The failure is queryable after the fact too.
+                reply = client.request({"cmd": "result",
+                                        "job_id": "job-000001"})
+                assert reply["event"] == "failed"
+                assert reply["label"] == "poison"
+
+
+class TestProtocolEdges:
+    def test_ping_stats_status_result(self, tmp_path):
+        with serve(tmp_path) as server:
+            with connect(server) as client:
+                assert client.ping()["protocol"] == 1
+                reply = submit_raw(client, SWEEP_JOB)
+                job_id = reply["job_id"]
+                wait_until(lambda: client.status(job_id)["state"]
+                           == "done")
+                record = client.status(job_id)
+                assert record["kind"] == "sweep"
+                assert record["stats"]["executed"] == \
+                    len(SWEEP_JOB["rates"])
+                result = client.request({"cmd": "result",
+                                         "job_id": job_id})
+                assert result["event"] == "result"
+                assert result["result"]["kind"] == "sweep"
+
+    def test_invalid_submission_and_unknown_command(self, tmp_path):
+        with serve(tmp_path) as server:
+            with connect(server) as client:
+                reply = submit_raw(client, {"kind": "sweep",
+                                            "design": "NOPE",
+                                            "rates": [0.01]})
+                assert reply["event"] == "invalid"
+                assert "unknown design" in reply["error"]
+                reply = client.request({"cmd": "frobnicate"})
+                assert reply["event"] == "invalid"
+                reply = client.request({"cmd": "status",
+                                        "job_id": "job-999999"})
+                assert reply["ok"] is False
+                stats = client.stats()
+                assert stats["counters"]["invalid"] == 1
+                assert stats["counters"]["submitted"] == 0
+
+    def test_malformed_line_keeps_connection_alive(self, tmp_path):
+        with serve(tmp_path) as server:
+            with connect(server) as client:
+                client._sock.sendall(b"this is not json\n")
+                reply = client._recv()
+                assert reply["event"] == "invalid"
+                assert client.ping()["ok"]   # still usable afterwards
+
+    def test_shutdown_stops_the_server(self, tmp_path):
+        server = serve(tmp_path)
+        with server:
+            with connect(server) as client:
+                client.shutdown()
+            server._thread.join(timeout=30)
+            assert not server._thread.is_alive()
+
+    def test_cache_stats_served(self, tmp_path):
+        with serve(tmp_path) as server:
+            with connect(server) as client:
+                client.submit(SWEEP_JOB)
+                cache = client.stats()["cache"]
+        assert cache["entries"] == len(SWEEP_JOB["rates"])
+        assert cache["bytes"] > 0

@@ -61,6 +61,34 @@ class TestStreamingHistogram:
             rank = -(-len(values) * p // 100)
             assert h.percentile(p) == values[rank - 1]
 
+    def test_rank_is_exact_at_bucket_boundaries(self):
+        # p50 boundary: rank ceil((2**53 + 1) / 2) = 2**52 + 1, which is
+        # the first sample of the second bucket.  Computing the rank in
+        # float arithmetic rounds total * p to 2**53 * 50 and lands one
+        # rank low (in the first bucket) — the rank must come from exact
+        # integer arithmetic.
+        h = StreamingHistogram()
+        h.add(0, count=2 ** 52)
+        h.add(1, count=2 ** 52 + 1)
+        assert h.percentile(50) == 1
+        assert h.percentile(100) == 1
+
+        # Exact small boundaries: rank 100 of 200 is the last sample of
+        # the first bucket; any p past 50% crosses into the second.
+        h = StreamingHistogram()
+        h.add(0, count=100)
+        h.add(1, count=100)
+        assert h.percentile(50) == 0
+        assert h.percentile(50.5) == 1
+
+        # Float percentiles are resolved against the float's exact value:
+        # 99.9 is binary 99.90000000000000568…, so rank ceil(1000 * p /
+        # 100) = 1000, not 999.
+        h = StreamingHistogram()
+        for v in range(1000):
+            h.add(v)
+        assert h.percentile(99.9) == 999
+
     def test_power_of_two_buckets_above_limit(self):
         h = StreamingHistogram()
         h.add(5000)        # 13 bits -> representative 4096
