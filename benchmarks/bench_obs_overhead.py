@@ -1,0 +1,179 @@
+"""Observability overhead: the instrumented warm path vs the bare one.
+
+Boots two :class:`repro.serve.ThreadedServer` instances over one shared
+SHA-keyed result cache — one with observability enabled (metrics
+registry, spans, structured logs), one with ``observability=False`` —
+and submits the same pinned sweep to both, interleaved at
+single-submission granularity, checking every warm payload is
+bit-identical to the cold run and across modes.
+
+Enforcing the ``< 2%`` overhead contract from DESIGN.md needs care: the
+per-hit instrumentation cost is ~10–20 µs while socket round-trip
+jitter on a shared CI box is easily ±100 µs, so *differencing* two
+end-to-end latency distributions cannot resolve it — min-of-N, p50 and
+trimmed means all flap by more than the quantity under test.  Instead
+the enforced number is deterministic: the benchmark times the exact
+gated instruction sequence a warm hit executes (span creation + marks,
+counter incs, histogram observes — mirroring the sites in
+``repro.serve.server``) in a tight loop, and divides by the measured
+warm-hit p50.  The end-to-end distributions for both modes are still
+recorded in the JSON for eyeballing; they are just not the gate.
+
+Writes ``benchmarks/results/BENCH_obs.json``.
+
+Environment knobs (see ``common``): ``REPRO_BENCH_WARMUP`` /
+``REPRO_BENCH_MEASURE`` shape the simulated window,
+``REPRO_BENCH_OBS_REPEATS`` the warm samples per mode (default 100),
+``REPRO_BENCH_OBS_FLOOR_PCT`` the allowed overhead (default 2.0).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from common import MEASURE, RESULTS_DIR, WARMUP, once, report
+from repro.obs import JobSpan, MetricsRegistry
+from repro.serve import ServeClient, ServerConfig, ThreadedServer
+
+BENCH_SCHEMA = 2
+REPEATS = int(os.environ.get("REPRO_BENCH_OBS_REPEATS", "100"))
+FLOOR_PCT = float(os.environ.get("REPRO_BENCH_OBS_FLOOR_PCT", "2.0"))
+COST_LOOPS = 20000
+
+SWEEP_JOB = {"kind": "sweep", "design": "CP-DOR",
+             "rates": [0.005, 0.02, 0.04], "warmup": WARMUP,
+             "measure": MEASURE}
+
+
+def _p50(values):
+    ordered = sorted(values)
+    return ordered[(len(ordered) - 1) // 2]
+
+
+def _instrumentation_cost_us():
+    """Microseconds of gated work one warm hit adds with obs on.
+
+    Replays the exact per-job instrumentation sequence from
+    ``repro.serve.server`` (submit -> worker -> done) against a live
+    registry; everything else on the serve path runs identically in
+    both modes.  Min of 3 rounds, so a GC pause or scheduler
+    preemption cannot inflate the enforced number.
+    """
+    reg = MetricsRegistry()
+    jobs_submitted = reg.counter("repro_jobs_submitted_total", "B.",
+                                 labels=("kind", "client"))
+    jobs_completed = reg.counter("repro_jobs_completed_total", "B.",
+                                 labels=("kind", "client"))
+    queue_wait = reg.histogram("repro_queue_wait_seconds", "B.",
+                               labels=("priority",))
+    job_wall = reg.histogram("repro_job_wall_seconds", "B.",
+                             labels=("kind",))
+    worker_busy = reg.counter("repro_worker_busy_seconds_total", "B.")
+
+    def one_job():
+        span = JobSpan()
+        span.mark("validate")
+        jobs_submitted.inc(kind="sweep", client="bench")
+        span.mark("enqueue")
+        span.mark("dequeue")
+        queue_wait.observe(span.duration_ns("dequeue") / 1e9, priority=0)
+        span.mark("execute")
+        jobs_completed.inc(kind="sweep", client="bench")
+        job_wall.observe(0.001, kind="sweep")
+        worker_busy.inc(0.001)
+        span.mark("respond")
+
+    rounds = []
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(COST_LOOPS):
+            one_job()
+        rounds.append((time.perf_counter() - start) / COST_LOOPS * 1e6)
+    return min(rounds)
+
+
+def _timed_submit(client, reference):
+    start = time.perf_counter()
+    warm = client.submit(SWEEP_JOB)
+    elapsed = time.perf_counter() - start
+    if warm != reference:
+        raise AssertionError("warm result diverged from cold payload")
+    return elapsed
+
+
+def _experiment():
+    with tempfile.TemporaryDirectory(prefix="obs-bench-cache-") as cache:
+        on_config = ServerConfig(port=0, cache=cache, observability=True)
+        off_config = ServerConfig(port=0, cache=cache, observability=False)
+        with ThreadedServer(on_config) as on_server, \
+                ThreadedServer(off_config) as off_server:
+            with ServeClient(*on_server.address,
+                             client_id="bench") as on_client, \
+                    ServeClient(*off_server.address,
+                                client_id="bench") as off_client:
+                # Cold run once (obs on); both servers share the cache,
+                # so every later submission is a warm hit.
+                cold = on_client.submit(SWEEP_JOB)
+                if off_client.submit(SWEEP_JOB) != cold:
+                    raise AssertionError(
+                        "obs-off payload differs from obs-on payload")
+
+                on_lat, off_lat = [], []
+                for i in range(REPEATS):
+                    # Alternate which mode goes first per submission so
+                    # drift cannot systematically favor one.
+                    if i % 2 == 0:
+                        on_lat.append(_timed_submit(on_client, cold))
+                        off_lat.append(_timed_submit(off_client, cold))
+                    else:
+                        off_lat.append(_timed_submit(off_client, cold))
+                        on_lat.append(_timed_submit(on_client, cold))
+
+                scrape = on_client.metrics(format="json")["metrics"]
+
+    cost_us = _instrumentation_cost_us()
+    on_p50_ms = round(_p50(on_lat) * 1e3, 4)
+    off_p50_ms = round(_p50(off_lat) * 1e3, 4)
+    overhead_pct = round(cost_us / (off_p50_ms * 1e3) * 100.0, 3)
+
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "job": SWEEP_JOB,
+        "repeats": REPEATS,
+        "floor_pct": FLOOR_PCT,
+        "instrumentation_cost_us": round(cost_us, 3),
+        "warm_hit_p50_ms": {"obs_on": on_p50_ms, "obs_off": off_p50_ms},
+        "warm_hit_min_ms": {"obs_on": round(min(on_lat) * 1e3, 4),
+                            "obs_off": round(min(off_lat) * 1e3, 4)},
+        "overhead_pct": overhead_pct,
+        "bit_identical": True,
+        "jobs_completed": scrape["repro_jobs_completed_total"]["series"],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_obs.json"
+    out.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+
+    if overhead_pct >= FLOOR_PCT:
+        raise AssertionError(
+            f"observability adds {cost_us:.1f} us to a "
+            f"{off_p50_ms:.3f} ms warm hit = {overhead_pct:.2f}%, "
+            f"over the {FLOOR_PCT}% floor")
+
+    return [
+        f"instrumentation cost   {cost_us:8.2f} us per job "
+        f"(spans + counters + histograms, measured directly)",
+        f"warm hit p50 (obs on)  {on_p50_ms:8.3f} ms   "
+        f"(obs off) {off_p50_ms:8.3f} ms   "
+        f"[{REPEATS} interleaved submissions each]",
+        f"observability overhead {overhead_pct:+8.2f} % of a warm hit "
+        f"(floor {FLOOR_PCT}%)",
+        "payloads bit-identical across obs on / obs off / cold",
+        "(distributions in results/BENCH_obs.json)",
+    ]
+
+
+def test_obs_overhead(benchmark):
+    report("obs_overhead", once(benchmark, _experiment))

@@ -14,6 +14,8 @@ Usage::
     python -m repro serve --cache ~/.cache/repro-noc --workers 2
     python -m repro submit sweep --design TB-DOR --rates 0.01,0.03
     python -m repro submit stats
+    python -m repro metrics                 # Prometheus exposition
+    python -m repro top --interval 2        # live dashboard
 
 The CLI is a thin veneer over the public API; everything it prints can be
 obtained programmatically (see examples/).
@@ -32,6 +34,7 @@ from .area.chip import design_noc_area, throughput_effectiveness
 from .core.builder import NAMED_DESIGNS, checked_variant, design_by_name
 from .experiments import compare_designs, load_latency_curves
 from .noc.traffic import named_pattern_factory
+from .obs import log as obs_log
 from .parallel import log_progress
 from .system.accelerator import build_chip, perfect_chip
 from .telemetry import (COMPONENTS, TelemetryHub, TelemetrySpec, read_jsonl,
@@ -317,22 +320,29 @@ def _cmd_serve(args) -> int:
         host=args.host, port=args.port, socket_path=args.socket,
         cache=args.cache if args.cache is not None else True,
         cache_max_mb=args.cache_max_mb, max_pending=args.max_pending,
-        workers=args.workers, job_jobs=args.jobs)
+        workers=args.workers, job_jobs=args.jobs,
+        observability=not args.no_obs)
     server = JobServer(config)
 
     async def _run() -> None:
         await server.start()
         where = (config.socket_path if config.socket_path is not None
                  else "%s:%d" % server.address)
-        print(f"repro job server listening on {where} "
-              f"(workers={config.workers}, max_pending="
-              f"{config.max_pending})", file=sys.stderr)
+        obs_log.emit(
+            "server_listening",
+            f"repro job server listening on {where} "
+            f"(workers={config.workers}, max_pending="
+            f"{config.max_pending})",
+            address=str(where), workers=config.workers,
+            max_pending=config.max_pending,
+            observability=server.obs is not None)
         await server.serve_until_stopped()
 
     try:
         asyncio.run(_run())
     except KeyboardInterrupt:
-        print("interrupted; queued jobs dropped", file=sys.stderr)
+        obs_log.emit("server_interrupted",
+                     "interrupted; queued jobs dropped")
     return 0
 
 
@@ -344,9 +354,13 @@ def _submit_client(args):
 
 def _print_event_progress(event: dict) -> None:
     origin = "cache" if event.get("cached") else "run"
-    print(f"[{event['index'] + 1:3d}/{event['total']}] "
-          f"{event['label']:40s} {event['seconds']:7.2f}s ({origin})",
-          file=sys.stderr)
+    obs_log.emit(
+        "task_progress",
+        f"[{event['index'] + 1:3d}/{event['total']}] "
+        f"{event['label']:40s} {event['seconds']:7.2f}s ({origin})",
+        job_id=event.get("job_id"), index=event["index"],
+        total=event["total"], label=event["label"],
+        seconds=event["seconds"], cached=bool(event.get("cached")))
 
 
 def _cmd_submit(args) -> int:
@@ -396,6 +410,42 @@ def _cmd_submit(args) -> int:
         raise SystemExit(f"error: {exc}") from None
     print(json.dumps(result, indent=2, sort_keys=True))
     return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Scrape a running server's metrics (`repro metrics`)."""
+    from .serve import ServeError
+
+    try:
+        with _submit_client(args) as client:
+            reply = client.metrics(format="json" if args.json else "text")
+    except (ServeError, OSError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if not reply.get("enabled"):
+        print("observability is disabled on this server "
+              "(--no-obs or REPRO_OBS=0)", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(reply["metrics"], indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(reply["text"])
+    return 0
+
+
+def _cmd_top(args) -> int:
+    """Live dashboard over a running server (`repro top`)."""
+    from .obs import run_top
+    from .serve import ServeError
+
+    try:
+        with _submit_client(args) as client:
+            return run_top(client, interval=args.interval,
+                           iterations=args.iterations,
+                           clear=not args.no_clear)
+    except KeyboardInterrupt:
+        return 0
+    except (ServeError, OSError) as exc:
+        raise SystemExit(f"error: {exc}") from None
 
 
 def _cmd_report(args) -> int:
@@ -583,6 +633,9 @@ def make_parser() -> argparse.ArgumentParser:
                        help="concurrent jobs (default 1)")
     serve.add_argument("--jobs", type=positive_int, default=None,
                        help="worker processes per job (run_tasks fan-out)")
+    serve.add_argument("--no-obs", action="store_true",
+                       help="disable the metrics registry, job spans and "
+                            "structured job events (results unchanged)")
 
     submit = sub.add_parser(
         "submit", help="submit a job to a running server")
@@ -622,6 +675,26 @@ def make_parser() -> argparse.ArgumentParser:
 
     job_sub.add_parser("stats", help="print server + cache statistics")
 
+    metrics = sub.add_parser(
+        "metrics", help="scrape a running server's metrics")
+    endpoint_args(metrics)
+    metrics.add_argument("--client", default="cli",
+                         help=argparse.SUPPRESS)
+    metrics.add_argument("--json", action="store_true",
+                         help="JSON snapshot instead of Prometheus "
+                              "text exposition")
+
+    top = sub.add_parser(
+        "top", help="live dashboard over a running server")
+    endpoint_args(top)
+    top.add_argument("--client", default="cli", help=argparse.SUPPRESS)
+    top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                     help="seconds between frames (default 2)")
+    top.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="render N frames then exit (default: forever)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of redrawing in place")
+
     report = sub.add_parser(
         "report", help="inspect a telemetry artifact directory")
     report.add_argument("dir", help="directory holding summary.json "
@@ -644,6 +717,8 @@ _COMMANDS = {
     "explore": _cmd_explore,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "metrics": _cmd_metrics,
+    "top": _cmd_top,
     "report": _cmd_report,
 }
 

@@ -1,0 +1,392 @@
+"""Metrics registry: counters, gauges, and exact-percentile histograms.
+
+The serving stack needs the same discipline the simulator got in PR 3 —
+numbers you can trust, collected at a cost you can ignore.  This module
+is the host-side half of that: a small, dependency-free registry of
+
+* :class:`Counter` — monotone totals with optional label dimensions
+  (``jobs_submitted_total{kind="sweep",client="cli"}``);
+* :class:`Gauge` — point-in-time values, either set explicitly or read
+  lazily from a callback at scrape time (queue depth, cache bytes), so
+  the hot path never pays for values nobody is looking at;
+* :class:`Histogram` — latency distributions backed by
+  :class:`repro.noc.histogram.StreamingHistogram`, the same bounded
+  structure the simulator uses for packet latency, so p50/p95/p99 are
+  exact below the linear limit and bucket-resolution beyond it.  An
+  exact running sum is kept alongside for rate/mean arithmetic.
+
+Two render targets, both deterministic (registration order, then sorted
+label values):
+
+* :meth:`MetricsRegistry.render` — Prometheus text exposition
+  (``# HELP`` / ``# TYPE`` / sample lines; histograms render as
+  summaries with ``quantile`` labels plus ``_sum`` / ``_count``);
+* :meth:`MetricsRegistry.snapshot` — a JSON-compatible dict for the
+  ``metrics`` protocol command's structured consumers (``repro top``).
+
+Thread-safety: every mutation and read takes the registry lock, so
+asyncio workers, executor threads, and scrapes can interleave freely.
+The process-wide :data:`REGISTRY` holds library-level series (the
+``run_tasks`` task throughput); servers own their own instances so two
+servers in one process never double-count.  :func:`enabled` is the
+global escape hatch — ``REPRO_OBS=0`` turns every instrumentation site
+into a single attribute test, mirroring the simulator's branch-free
+telemetry contract: observability never changes results, only whether
+anyone was watching.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
+
+from ..noc.histogram import StreamingHistogram
+
+#: Prometheus metric- and label-name grammar.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Quantiles exposed for every histogram, as (label value, percentile).
+QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("0.5", 50.0), ("0.95", 95.0), ("0.99", 99.0))
+
+
+def enabled() -> bool:
+    """Global observability switch: ``REPRO_OBS=0`` (or ``false``/``off``)
+    disables every library-level instrumentation site."""
+    return os.environ.get("REPRO_OBS", "").strip().lower() not in (
+        "0", "false", "off", "no")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def format_value(value: Union[int, float]) -> str:
+    """Render a sample value: integers without a trailing ``.0``, floats
+    with full ``repr`` precision (round-trip exact)."""
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+class Metric:
+    """Shared naming/label plumbing for one metric family."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str,
+                 labels: Sequence[str] = ()) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.label_names: Tuple[str, ...] = tuple(labels)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Dict[str, Any]) -> Tuple[str, ...]:
+        names = self.label_names
+        if len(labels) == len(names):     # fast path: no set building
+            try:
+                return tuple(str(labels[name]) for name in names)
+            except KeyError:
+                pass
+        raise ValueError(
+            f"{self.name} takes labels {list(names)}, "
+            f"got {sorted(labels)}")
+
+    def _render_labels(self, key: Tuple[str, ...],
+                       extra: Sequence[Tuple[str, str]] = ()) -> str:
+        pairs = [(name, value)
+                 for name, value in zip(self.label_names, key)]
+        pairs.extend(extra)
+        if not pairs:
+            return ""
+        body = ",".join(f'{name}="{escape_label_value(value)}"'
+                        for name, value in pairs)
+        return "{" + body + "}"
+
+    # Subclasses provide series() -> ordered [(key, payload)] and the
+    # per-series exposition lines.
+
+
+class Counter(Metric):
+    """Monotonically increasing total, optionally labeled.
+
+    ``fn`` (unlabeled counters only) reads the value lazily at scrape
+    time — used for totals another component already tracks, like the
+    result cache's lifetime counters.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labels: Sequence[str] = (),
+                 fn: Optional[Callable[[], Union[int, float]]] = None
+                 ) -> None:
+        super().__init__(name, help, labels)
+        if fn is not None and labels:
+            raise ValueError("callback counters cannot be labeled")
+        self._fn = fn
+        self._series: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: Union[int, float] = 1, **labels: Any) -> None:
+        if self._fn is not None:
+            raise ValueError(f"{self.name} is callback-backed")
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return float(self._series.get(self._key(labels), 0))
+
+    def series(self) -> List[Tuple[Tuple[str, ...], float]]:
+        if self._fn is not None:
+            return [((), float(self._fn()))]
+        with self._lock:
+            return sorted(self._series.items())
+
+
+class Gauge(Metric):
+    """Point-in-time value; set explicitly or read from ``fn`` at scrape
+    time.  A labeled callback returns ``{(label values...): value}``."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labels: Sequence[str] = (),
+                 fn: Optional[Callable[[], Any]] = None) -> None:
+        super().__init__(name, help, labels)
+        self._fn = fn
+        self._series: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: Union[int, float], **labels: Any) -> None:
+        if self._fn is not None:
+            raise ValueError(f"{self.name} is callback-backed")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def value(self, **labels: Any) -> float:
+        return dict(self.series()).get(self._key(labels), 0.0)
+
+    def series(self) -> List[Tuple[Tuple[str, ...], float]]:
+        if self._fn is not None:
+            result = self._fn()
+            if isinstance(result, dict):
+                return sorted((tuple(str(part) for part in key),
+                               float(value))
+                              for key, value in result.items())
+            return [((), float(result))]
+        with self._lock:
+            return sorted(self._series.items())
+
+
+class Histogram(Metric):
+    """Distribution metric with exact tail percentiles.
+
+    Samples are floats in natural units (seconds); internally each is
+    recorded as ``round(value * scale)`` into a
+    :class:`StreamingHistogram` (default ``scale=1000``: millisecond
+    buckets, exact percentiles below ~4.1 s), and an exact float sum is
+    kept alongside.  Exposed as a Prometheus summary: ``quantile``
+    series plus ``_sum`` and ``_count``.
+    """
+
+    kind = "summary"
+
+    def __init__(self, name: str, help: str, labels: Sequence[str] = (),
+                 scale: int = 1000) -> None:
+        super().__init__(name, help, labels)
+        if scale < 1:
+            raise ValueError(f"scale must be >= 1, got {scale}")
+        self.scale = scale
+        self._series: Dict[Tuple[str, ...],
+                           Tuple[StreamingHistogram, List[float]]] = {}
+
+    def observe(self, value: Union[int, float], **labels: Any) -> None:
+        if value < 0:
+            raise ValueError(f"histogram samples must be >= 0, "
+                             f"got {value}")
+        key = self._key(labels)
+        with self._lock:
+            cell = self._series.get(key)
+            if cell is None:
+                cell = (StreamingHistogram(), [0.0])
+                self._series[key] = cell
+            cell[0].add(int(round(value * self.scale)))
+            cell[1][0] += float(value)
+
+    def summary(self, **labels: Any) -> Dict[str, float]:
+        """count/sum/min/max/p50/p95/p99 in natural units."""
+        key = self._key(labels)
+        with self._lock:
+            cell = self._series.get(key)
+            if cell is None:
+                return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                        "p50": 0.0, "p95": 0.0, "p99": 0.0}
+            hist, total = cell
+            return {
+                "count": hist.total,
+                "sum": total[0],
+                "min": hist.min / self.scale,
+                "max": hist.max / self.scale,
+                "p50": hist.percentile(50) / self.scale,
+                "p95": hist.percentile(95) / self.scale,
+                "p99": hist.percentile(99) / self.scale,
+            }
+
+    def series(self) -> List[Tuple[Tuple[str, ...],
+                                   Tuple[StreamingHistogram, float]]]:
+        with self._lock:
+            return sorted((key, (hist.copy(), total[0]))
+                          for key, (hist, total) in self._series.items())
+
+
+class MetricsRegistry:
+    """Ordered collection of metrics with deterministic rendering."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}    # insertion-ordered
+
+    def _register(self, metric: Metric) -> Metric:
+        with self._lock:
+            if metric.name in self._metrics:
+                raise ValueError(
+                    f"metric {metric.name!r} already registered")
+            self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str, labels: Sequence[str] = (),
+                fn: Optional[Callable[[], Union[int, float]]] = None
+                ) -> Counter:
+        return self._register(Counter(name, help, labels, fn))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str, labels: Sequence[str] = (),
+              fn: Optional[Callable[[], Any]] = None) -> Gauge:
+        return self._register(Gauge(name, help, labels, fn))  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str,
+                  labels: Sequence[str] = (), scale: int = 1000
+                  ) -> Histogram:
+        return self._register(Histogram(name, help, labels, scale))  # type: ignore[return-value]
+
+    def metrics(self) -> List[Metric]:
+        with self._lock:
+            return list(self._metrics.values())
+
+    def render(self) -> str:
+        """Prometheus text exposition of every registered metric."""
+        lines: List[str] = []
+        for metric in self.metrics():
+            lines.append(f"# HELP {metric.name} "
+                         f"{_escape_help(metric.help)}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for key, (hist, total) in metric.series():
+                    for quantile, percentile in QUANTILES:
+                        labels = metric._render_labels(
+                            key, [("quantile", quantile)])
+                        value = (hist.percentile(percentile)
+                                 / metric.scale) if hist.total else 0.0
+                        lines.append(f"{metric.name}{labels} "
+                                     f"{format_value(value)}")
+                    labels = metric._render_labels(key)
+                    lines.append(f"{metric.name}_sum{labels} "
+                                 f"{format_value(total)}")
+                    lines.append(f"{metric.name}_count{labels} "
+                                 f"{format_value(hist.total)}")
+            else:
+                for key, value in metric.series():
+                    labels = metric._render_labels(key)
+                    lines.append(f"{metric.name}{labels} "
+                                 f"{format_value(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-compatible dump of every metric's current series."""
+        snap: Dict[str, Any] = {}
+        for metric in self.metrics():
+            series: List[Dict[str, Any]] = []
+            if isinstance(metric, Histogram):
+                for key, (hist, total) in metric.series():
+                    entry: Dict[str, Any] = {
+                        "labels": dict(zip(metric.label_names, key)),
+                        "count": hist.total,
+                        "sum": round(total, 9),
+                    }
+                    if hist.total:
+                        entry.update({
+                            "min": hist.min / metric.scale,
+                            "max": hist.max / metric.scale,
+                            "p50": hist.percentile(50) / metric.scale,
+                            "p95": hist.percentile(95) / metric.scale,
+                            "p99": hist.percentile(99) / metric.scale,
+                        })
+                    series.append(entry)
+            else:
+                for key, value in metric.series():
+                    series.append({
+                        "labels": dict(zip(metric.label_names, key)),
+                        "value": value,
+                    })
+            snap[metric.name] = {"type": metric.kind,
+                                 "help": metric.help, "series": series}
+        return snap
+
+
+def render_prometheus(*registries: MetricsRegistry) -> str:
+    """Concatenated exposition of several registries (server-local
+    series first, then the process-wide library series)."""
+    return "".join(registry.render() for registry in registries)
+
+
+#: Parseability check used by tests and the CI scrape: every non-comment
+#: line is ``name[{labels}] value``.
+EXPOSITION_LINE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"
+    r" -?[0-9.e+-]+(inf|nan)?$")
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[str, float]]:
+    """Parse exposition text into ``{metric: {label-part: value}}``;
+    raises ``ValueError`` on any malformed line.  Deliberately strict —
+    this is the golden-pinning and CI-scrape helper, not a client."""
+    result: Dict[str, Dict[str, float]] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        if not EXPOSITION_LINE_RE.match(line):
+            raise ValueError(f"malformed exposition line: {line!r}")
+        name_part, value = line.rsplit(" ", 1)
+        brace = name_part.find("{")
+        if brace >= 0:
+            name, labels = name_part[:brace], name_part[brace:]
+        else:
+            name, labels = name_part, ""
+        result.setdefault(name, {})[labels] = float(value)
+    return result
+
+
+#: Process-wide registry for library-level series (``repro.parallel``'s
+#: task throughput); servers keep their own registries on top of this.
+REGISTRY = MetricsRegistry()

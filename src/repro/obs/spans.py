@@ -1,0 +1,87 @@
+"""Job spans: per-stage wall-clock decomposition of one submission.
+
+The same invariant style as the telemetry layer's packet decomposition
+(PR 3): a job's end-to-end latency decomposes into stage durations that
+**telescope exactly** — their sum equals the whole, not approximately
+but bit-for-bit.  Packet latencies telescope because they are integer
+cycles; wall-clock floats would not (``(b-a)+(c-b) != c-a`` in
+binary64), so spans record **integer nanoseconds** from
+``time.perf_counter_ns()``: stage ``i`` is ``t[i+1]-t[i]``, the total
+is ``t[n]-t[0]``, and integer subtraction telescopes by construction.
+
+A span is a list of named marks.  The serving pipeline marks
+``submit`` (implicit, at construction) → ``validate`` → ``enqueue`` →
+``dequeue`` → ``execute`` → ``respond``; the stage *named* ``dequeue``
+therefore measures the queue wait, and ``execute`` the job's
+wall-clock.  Spans are persisted on the job record and served by the
+``status`` command, so a slow job can be decomposed after the fact the
+same way Figure 11 decomposes a slow packet.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Bumped whenever the serialized span shape changes.
+SCHEMA = 1
+
+#: The serving pipeline's stage marks, in order (``submit`` is the
+#: implicit starting mark, not a stage).
+STAGES = ("validate", "enqueue", "dequeue", "execute", "respond")
+
+
+class JobSpan:
+    """Ordered monotonic marks; stage durations telescope exactly."""
+
+    __slots__ = ("marks", "_clock")
+
+    def __init__(self, clock: Optional[Callable[[], int]] = None) -> None:
+        self._clock = clock if clock is not None else time.perf_counter_ns
+        self.marks: List[Tuple[str, int]] = [("submit", self._clock())]
+
+    def mark(self, stage: str) -> None:
+        """Record that ``stage`` just finished."""
+        now = self._clock()
+        last = self.marks[-1][1]
+        if now < last:
+            # perf_counter_ns is monotonic; defend against injected
+            # clocks so durations stay non-negative.
+            now = last
+        self.marks.append((stage, now))
+
+    def stage_durations(self) -> List[Tuple[str, int]]:
+        """``(stage, nanoseconds)`` per stage, in pipeline order."""
+        return [(name, self.marks[i][1] - self.marks[i - 1][1])
+                for i, (name, _) in enumerate(self.marks) if i > 0]
+
+    def duration_ns(self, stage: str) -> int:
+        """Duration of one named stage (0 if never marked)."""
+        for name, nanos in self.stage_durations():
+            if name == stage:
+                return nanos
+        return 0
+
+    @property
+    def total_ns(self) -> int:
+        """End-to-end nanoseconds, first mark to last.  Equals the sum
+        of :meth:`stage_durations` exactly (integer telescoping)."""
+        return self.marks[-1][1] - self.marks[0][1]
+
+    def complete(self) -> bool:
+        return bool(self.marks) and self.marks[-1][0] == STAGES[-1]
+
+    def to_json(self) -> Dict[str, Any]:
+        """Pinned serialization served by the ``status`` command."""
+        return {
+            "schema": SCHEMA,
+            "stages": [{"stage": name, "ns": nanos}
+                       for name, nanos in self.stage_durations()],
+            "total_ns": self.total_ns,
+            "total_seconds": round(self.total_ns / 1e9, 6),
+            "complete": self.complete(),
+        }
+
+    def __repr__(self) -> str:
+        stages = ">".join(name for name, _ in self.marks)
+        return f"JobSpan({stages}, total={self.total_ns}ns)"

@@ -1,0 +1,134 @@
+"""``repro top`` — a live terminal dashboard over a running job server.
+
+Polls the ``stats`` and ``metrics`` protocol commands and renders queue
+depth, worker utilization, job/cache counters, and latency percentiles
+as a compact text panel, redrawn in place each interval.  The renderer
+(:func:`render_dashboard`) is a pure function of the two payloads, so
+tests pin it without a terminal, and ``--iterations N`` bounds the loop
+for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+#: ANSI: clear screen + home.  Emitted between frames when redrawing.
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt_bytes(count: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return (f"{count:.0f} {unit}" if unit == "B"
+                    else f"{count:.1f} {unit}")
+        count /= 1024
+    return f"{count:.1f} GiB"    # unreachable; defensive
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def _histogram_rows(snapshot: Dict[str, Any], name: str,
+                    label: str) -> List[str]:
+    """One row per labeled series of a histogram metric."""
+    rows: List[str] = []
+    for entry in snapshot.get(name, {}).get("series", []):
+        if not entry.get("count"):
+            continue
+        tag = entry["labels"].get(label, "")
+        rows.append(f"{label} {tag:<8s} p50 {_fmt_ms(entry['p50']):>9s}"
+                    f"  p95 {_fmt_ms(entry['p95']):>9s}"
+                    f"  p99 {_fmt_ms(entry['p99']):>9s}"
+                    f"  (n={entry['count']})")
+    return rows
+
+
+def render_dashboard(stats: Dict[str, Any],
+                     snapshot: Optional[Dict[str, Any]] = None) -> str:
+    """Render one dashboard frame from a ``stats`` payload and an
+    optional ``metrics`` JSON snapshot."""
+    snapshot = snapshot or {}
+    counters = stats.get("counters", {})
+    cache = stats.get("cache") or {}
+    cache_counters = cache.get("counters") or {}
+    estimator = stats.get("retry_estimator") or {}
+    uptime = float(stats.get("uptime", 0.0))
+    workers = int(stats.get("workers", 1)) or 1
+    lines: List[str] = []
+
+    obs = "on" if stats.get("observability", True) else "off"
+    lines.append(f"repro top — uptime {uptime:.1f}s · "
+                 f"workers {workers} ({stats.get('running', 0)} busy) · "
+                 f"observability {obs}")
+
+    samples = estimator.get("samples", 0)
+    lines.append(f"queue      depth {stats.get('pending', 0)} / "
+                 f"{stats.get('max_pending', '?')} max   "
+                 f"retry_after {stats.get('retry_after', 0.0)}s "
+                 f"(p90 of {samples} job walls)")
+    by_client = stats.get("pending_by_client") or {}
+    if by_client:
+        pairs = ", ".join(f"{client} {count}"
+                          for client, count in sorted(by_client.items()))
+        lines.append(f"           waiting by client: {pairs}")
+
+    lines.append(f"jobs       submitted {counters.get('submitted', 0)}   "
+                 f"completed {counters.get('completed', 0)}   "
+                 f"failed {counters.get('failed', 0)}   "
+                 f"rejected {counters.get('rejected', 0)}   "
+                 f"invalid {counters.get('invalid', 0)}")
+
+    hits = cache_counters.get("hits", 0)
+    misses = cache_counters.get("misses", 0)
+    looked = hits + misses
+    rate = f"{hits / looked:.1%} hit" if looked else "no lookups"
+    lines.append(f"cache      entries {cache.get('entries', 0)} "
+                 f"({_fmt_bytes(float(cache.get('bytes', 0)))})   "
+                 f"hits {hits} / misses {misses} ({rate})   "
+                 f"evictions {cache_counters.get('evictions', 0)}")
+
+    busy_entry = snapshot.get("repro_worker_busy_seconds_total",
+                              {}).get("series", [])
+    if busy_entry and uptime > 0:
+        busy = float(busy_entry[0].get("value", 0.0))
+        lines.append(f"workers    busy "
+                     f"{busy / (uptime * workers):.1%} of capacity "
+                     f"({busy:.1f}s over {workers} worker(s))")
+
+    wall = _histogram_rows(snapshot, "repro_job_wall_seconds", "kind")
+    for i, row in enumerate(wall):
+        lines.append(("job wall   " if i == 0 else "           ") + row)
+    wait = _histogram_rows(snapshot, "repro_queue_wait_seconds",
+                           "priority")
+    for i, row in enumerate(wait):
+        lines.append(("queue wait " if i == 0 else "           ") + row)
+    return "\n".join(lines) + "\n"
+
+
+def run_top(client: Any, interval: float = 2.0,
+            iterations: Optional[int] = None,
+            out: Optional[TextIO] = None, clear: bool = True) -> int:
+    """Poll ``client`` (a :class:`repro.serve.ServeClient`) and redraw.
+
+    ``iterations=None`` runs until interrupted; a finite count renders
+    that many frames (the CI smoke path uses 1).  Returns 0.
+    """
+    stream = out if out is not None else sys.stdout
+    frame = 0
+    while iterations is None or frame < iterations:
+        if frame and interval > 0:
+            time.sleep(interval)
+        stats = client.stats()
+        snapshot: Optional[Dict[str, Any]] = None
+        reply = client.metrics(format="json")
+        if reply.get("enabled"):
+            snapshot = reply.get("metrics", {})
+        if clear:
+            stream.write(CLEAR)
+        stream.write(render_dashboard(stats, snapshot))
+        stream.flush()
+        frame += 1
+    return 0

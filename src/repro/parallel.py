@@ -39,6 +39,9 @@ from pathlib import Path
 from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
                     Tuple, Union)
 
+from .obs import log as obs_log
+from .obs import metrics as obs_metrics
+
 # ---------------------------------------------------------------------------
 # Stable hashing and seed derivation
 # ---------------------------------------------------------------------------
@@ -124,6 +127,20 @@ class ExecutionCounter:
 EXECUTION_COUNTER = ExecutionCounter()
 
 
+# Process-wide task-throughput series (see DESIGN.md §16): how many
+# tasks run_tasks resolved, by origin, and the summed wall-clock of the
+# executed ones.  Lives in the shared obs registry so the job server's
+# ``metrics`` command exposes the process pool's throughput alongside
+# its own queue/job series.  Per-process, like EXECUTION_COUNTER.
+TASKS_TOTAL = obs_metrics.REGISTRY.counter(
+    "repro_tasks_total",
+    "Tasks resolved by run_tasks, by origin (run or cache).",
+    labels=("origin",))
+TASK_SECONDS_TOTAL = obs_metrics.REGISTRY.counter(
+    "repro_task_seconds_total",
+    "Summed wall-clock seconds of executed (non-cached) tasks.")
+
+
 # ---------------------------------------------------------------------------
 # On-disk result cache
 # ---------------------------------------------------------------------------
@@ -193,6 +210,12 @@ class ResultCache:
     leaves an orphan ``<key>.tmp.<pid>`` behind; those are age-swept on
     :meth:`put` and unconditionally removed by :meth:`clear`.  Orphans are
     never served: :meth:`get` only ever reads ``<key>.json``.
+
+    ``counters`` tallies this instance's lifetime activity — hits,
+    misses, puts, evictions, evicted bytes, and index-lock timeouts —
+    for the serve ``stats``/``metrics`` endpoints.  They are in-memory
+    and per-process: concurrent writers sharing one directory each see
+    their own counts, never each other's.
     """
 
     def __init__(self, root: Union[str, Path, None] = None,
@@ -202,6 +225,9 @@ class ResultCache:
             else default_cache_budget()
         if self.max_bytes is not None and self.max_bytes <= 0:
             raise ValueError(f"max_bytes must be > 0, got {self.max_bytes}")
+        self.counters: Dict[str, int] = {
+            "hits": 0, "misses": 0, "puts": 0, "evictions": 0,
+            "evicted_bytes": 0, "lock_timeouts": 0}
 
     def path_for(self, key: str) -> Path:
         """Cache file path for ``key``."""
@@ -214,7 +240,9 @@ class ResultCache:
             with open(path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
         except (OSError, ValueError):
+            self.counters["misses"] += 1
             return None
+        self.counters["hits"] += 1
         try:
             os.utime(path)      # LRU recency: eviction orders by mtime
         except OSError:
@@ -231,6 +259,7 @@ class ResultCache:
             json.dump(payload, fh)
         size = tmp.stat().st_size
         os.replace(tmp, path)
+        self.counters["puts"] += 1
         with self._locked():
             index = self._read_index()
             index["entries"][key] = {"bytes": size, "used": time.time()}
@@ -273,9 +302,11 @@ class ResultCache:
 
     def stats(self) -> dict:
         """Entry count, byte total and budget, from the index reconciled
-        against the directory (entries deleted externally are dropped)."""
+        against the directory (entries deleted externally are dropped),
+        plus this instance's lifetime ``counters``."""
         if not self.root.is_dir():      # nothing cached yet
-            return {"entries": 0, "bytes": 0, "max_bytes": self.max_bytes}
+            return {"entries": 0, "bytes": 0, "max_bytes": self.max_bytes,
+                    "counters": dict(self.counters)}
         with self._locked():
             index = self._read_index()
             entries = index["entries"]
@@ -287,6 +318,7 @@ class ResultCache:
             "entries": len(entries),
             "bytes": sum(e["bytes"] for e in entries.values()),
             "max_bytes": self.max_bytes,
+            "counters": dict(self.counters),
         }
 
     def __len__(self) -> int:
@@ -321,6 +353,7 @@ class ResultCache:
                     lock.unlink(missing_ok=True)
                     continue
                 if time.monotonic() >= deadline:
+                    self.counters["lock_timeouts"] += 1
                     break
                 time.sleep(0.005)
         try:
@@ -380,8 +413,11 @@ class ResultCache:
             if key == keep:
                 continue
             self.path_for(key).unlink(missing_ok=True)
-            total -= entries.pop(key)["bytes"]
+            size = entries.pop(key)["bytes"]
+            total -= size
             evicted += 1
+            self.counters["evictions"] += 1
+            self.counters["evicted_bytes"] += size
         return evicted
 
 
@@ -609,6 +645,11 @@ def run_tasks(tasks: Sequence[SimTask], jobs: Optional[int] = None,
                 (artifact_dir / "summary.json").is_file()
             if hit is not None and artifacts_ok:
                 payloads[i] = hit
+                if obs_metrics.enabled():
+                    TASKS_TOTAL.inc(origin="cache")
+                obs_log.emit("task_done", label=task.label, index=i,
+                             cached=True,
+                             seconds=round(hit.get("elapsed", 0.0), 6))
                 if progress is not None:
                     progress(TaskReport(i, total, task.label,
                                         hit.get("elapsed", 0.0), True))
@@ -620,9 +661,15 @@ def run_tasks(tasks: Sequence[SimTask], jobs: Optional[int] = None,
         payloads[i] = payload
         if store is not None:
             store.put(keys[i] or tasks[i].cache_key(), payload)
+        elapsed = payload.get("elapsed", 0.0)
+        if obs_metrics.enabled():
+            TASKS_TOTAL.inc(origin="run")
+            TASK_SECONDS_TOTAL.inc(elapsed)
+        obs_log.emit("task_done", label=tasks[i].label, index=i,
+                     cached=False, seconds=round(elapsed, 6))
         if progress is not None:
             progress(TaskReport(i, total, tasks[i].label,
-                                payload.get("elapsed", 0.0), False))
+                                elapsed, False))
 
     if pending:
         if jobs == 1 or len(pending) == 1:
@@ -676,10 +723,11 @@ class ReportCollector:
     the ``BENCH_dse.json`` trajectory.
     """
 
-    def __init__(self, chain: Optional[Callable[[TaskReport], None]] = None
-                 ) -> None:
+    def __init__(self, chain: Optional[Callable[[TaskReport], None]] = None,
+                 cache: Optional["ResultCache"] = None) -> None:
         self.reports: List[TaskReport] = []
         self.chain = chain
+        self.cache = cache
 
     def __call__(self, report: TaskReport) -> None:
         self.reports.append(report)
@@ -710,10 +758,36 @@ class ReportCollector:
         """Cache hits over all observed tasks (0.0 when none ran)."""
         return self.cached / self.total if self.total else 0.0
 
+    def summary(self) -> Dict[str, Any]:
+        """The tallies as one JSON-ready dict (the shape the serve layer
+        attaches to each job's ``stats``).  When constructed with a
+        ``cache``, includes that store's lifetime counters as of now —
+        a job's stats then carry both the run's hit rate and the
+        process-lifetime cache history behind it."""
+        tallies: Dict[str, Any] = {
+            "tasks": self.total,
+            "executed": self.executed,
+            "cached": self.cached,
+            "task_seconds": round(self.seconds, 6),
+            "hit_rate": round(self.hit_rate(), 6),
+        }
+        if self.cache is not None:
+            tallies["cache_counters"] = dict(self.cache.counters)
+        return tallies
+
 
 def log_progress(report: TaskReport) -> None:
-    """Stderr progress printer usable as a ``progress`` callback."""
-    import sys
+    """Stderr progress printer usable as a ``progress`` callback.
+
+    Routed through :func:`repro.obs.log.emit`: with
+    ``REPRO_LOG_FORMAT=text`` (the default) the output is byte-identical
+    to the historical plain print; ``json`` mode gets the same record as
+    structured fields.
+    """
     origin = "cache" if report.cached else "run"
-    print(f"[{report.index + 1:3d}/{report.total}] {report.label:40s} "
-          f"{report.seconds:7.2f}s ({origin})", file=sys.stderr)
+    obs_log.emit(
+        "task_progress",
+        f"[{report.index + 1:3d}/{report.total}] {report.label:40s} "
+        f"{report.seconds:7.2f}s ({origin})",
+        index=report.index, total=report.total, label=report.label,
+        seconds=round(report.seconds, 6), cached=report.cached)

@@ -17,13 +17,16 @@ design-point queries in milliseconds:
 * :mod:`repro.serve.queue` — priority scheduling with per-client
   round-robin fairness inside each priority level;
 * :mod:`repro.serve.server` — the asyncio :class:`JobServer` (TCP or
-  unix socket): back-pressure with ``retry_after`` once the pending
-  queue saturates, streaming :class:`repro.parallel.TaskReport`
-  progress to subscribed clients, a shared SHA-keyed
-  :class:`repro.parallel.ResultCache` with LRU size budget, and a
-  ``stats`` endpoint;
+  unix socket): back-pressure with ``retry_after`` (p90 of recent job
+  wall-clocks) once the pending queue saturates, streaming
+  :class:`repro.parallel.TaskReport` progress to subscribed clients, a
+  shared SHA-keyed :class:`repro.parallel.ResultCache` with LRU size
+  budget, ``stats`` and ``metrics`` endpoints, per-job
+  :class:`repro.obs.JobSpan` stage timing, and structured job-lifecycle
+  logs (see :mod:`repro.obs`);
 * :mod:`repro.serve.client` — a thin blocking client
-  (:class:`ServeClient`) underneath ``repro submit``.
+  (:class:`ServeClient`) underneath ``repro submit``, ``repro metrics``
+  and ``repro top``.
 
 Quickstart::
 
@@ -34,6 +37,8 @@ Quickstart::
     python -m repro submit sweep --design TB-DOR --rates 0.01,0.03
     python -m repro submit explore --preset smoke
     python -m repro submit stats
+    python -m repro metrics          # Prometheus text exposition
+    python -m repro top              # live dashboard
 """
 
 from .client import (JobFailed, JobRejected, QueueSaturated, ServeClient,

@@ -115,6 +115,17 @@ class ServeClient:
             raise ServeError(f"stats failed: {reply}")
         return reply["server"]
 
+    def metrics(self, format: str = "text") -> Dict[str, Any]:
+        """The server's metrics registry: ``format="text"`` for
+        Prometheus exposition (under ``"text"``), ``"json"`` for the
+        structured snapshot (under ``"metrics"``).  The reply's
+        ``"enabled"`` flag is false when the server runs with
+        observability disabled."""
+        reply = self.request({"cmd": "metrics", "format": format})
+        if not reply.get("ok"):
+            raise ServeError(reply.get("error", f"metrics failed: {reply}"))
+        return reply
+
     def status(self, job_id: str) -> Dict[str, Any]:
         reply = self.request({"cmd": "status", "job_id": job_id})
         if not reply.get("ok"):

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional
 
 from ..core.builder import design_by_name
+from ..obs import log as obs_log
 from ..noc.traffic import NAMED_PATTERNS, named_pattern_factory
 from ..workloads.profiles import profile
 
@@ -136,6 +137,10 @@ def execute_job(spec: Dict[str, Any], *, jobs: Optional[int] = None,
     direct caller would serialize.
     """
     kind = spec["kind"]
+    # Machine-only records (no message): silent in text mode, one JSON
+    # line each under REPRO_LOG_FORMAT=json, correlated by the job_id
+    # the server bound around this call.
+    obs_log.emit("job_execute", kind=kind)
     if kind == "sweep":
         from ..experiments import load_latency_curves
         (curve,) = load_latency_curves(
@@ -144,8 +149,8 @@ def execute_job(spec: Dict[str, Any], *, jobs: Optional[int] = None,
             pattern_name=spec["pattern"], warmup=spec["warmup"],
             measure=spec["measure"], seed=spec["seed"], jobs=jobs,
             cache=cache, progress=progress)
-        return {"kind": "sweep", "curve": curve.to_json()}
-    if kind == "compare":
+        payload = {"kind": "sweep", "curve": curve.to_json()}
+    elif kind == "compare":
         from ..experiments import compare_designs
         profiles = ([profile(a) for a in spec["benchmarks"]]
                     if spec.get("benchmarks") else None)
@@ -154,10 +159,13 @@ def execute_job(spec: Dict[str, Any], *, jobs: Optional[int] = None,
             profiles=profiles, warmup=spec["warmup"],
             measure=spec["measure"], seed=spec["seed"], jobs=jobs,
             cache=cache, progress=progress)
-        return {"kind": "compare", "comparison": comparison.to_json()}
-    if kind == "explore":
+        payload = {"kind": "compare", "comparison": comparison.to_json()}
+    elif kind == "explore":
         from ..dse import explore_preset
         result = explore_preset(spec["preset"], seed=spec.get("seed"),
                                 jobs=jobs, cache=cache, progress=progress)
-        return {"kind": "explore", "exploration": result.to_json()}
-    raise JobSpecError(f"unknown job kind {kind!r}")
+        payload = {"kind": "explore", "exploration": result.to_json()}
+    else:
+        raise JobSpecError(f"unknown job kind {kind!r}")
+    obs_log.emit("job_executed", kind=kind)
+    return payload

@@ -9,7 +9,7 @@ event.
 Requests (``cmd``):
 
 ``ping``
-    → ``{"ok": true, "event": "pong", "protocol": 1}``
+    → ``{"ok": true, "event": "pong", "protocol": 2}``
 ``submit``
     ``{"cmd": "submit", "client": "...", "priority": 0,
     "stream": true, "job": {"kind": "sweep"|"compare"|"explore", ...}}``
@@ -18,17 +18,28 @@ Requests (``cmd``):
 ``status`` / ``result``
     ``{"cmd": "status", "job_id": "..."}`` → the job record / its result.
 ``stats``
-    → queue depth, running/served counters, cache entry/byte totals.
+    → queue depth, running/served counters, cache entry/byte totals and
+    lifetime counters, and the retry estimator's state.
+``metrics``
+    ``{"cmd": "metrics", "format": "text"|"json"}`` → the server's
+    metrics registry (plus the process-wide library registry) as
+    Prometheus text exposition (``"text"``, the default) or a JSON
+    snapshot (``"json"``); with observability disabled the reply carries
+    ``"enabled": false`` and empty payloads.
 ``shutdown``
     → ``{"ok": true, "event": "bye"}``; the server finishes running
     jobs, drops queued ones and exits.
 
 Back-pressure contract: once the pending queue holds ``max_pending``
 jobs, every further submission is rejected with ``retry_after`` — an
-estimate of when a slot frees up (EMA of recent job wall-clock scaled by
-queue depth over worker count) — instead of growing the queue without
-bound.  Rejection is explicit and cheap; clients are expected to back
-off and resubmit.
+estimate of when a slot frees up (p90 of recent job wall-clocks scaled
+by queue depth over worker count) — instead of growing the queue
+without bound.  Rejection is explicit and cheap; clients are expected
+to back off and resubmit.
+
+Version history: 1 (PR 7, initial) → 2 (adds the ``metrics`` command;
+``stats`` replaces ``ema_job_seconds`` with ``retry_estimator`` and
+gains ``observability``; ``status`` job records gain ``span``).
 """
 
 from __future__ import annotations
@@ -36,7 +47,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8642

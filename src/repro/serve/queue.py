@@ -57,5 +57,11 @@ class FairPriorityQueue:
                 counts[client] = counts.get(client, 0) + len(jobs)
         return counts
 
+    def pending_by_priority(self) -> Dict[int, int]:
+        """Queued-job counts per priority level (for the
+        ``repro_queue_depth_by_priority`` gauge)."""
+        return {priority: sum(len(jobs) for jobs in level.values())
+                for priority, level in self._levels.items() if level}
+
     def __len__(self) -> int:
         return self._size

@@ -372,7 +372,7 @@ class TestProtocolEdges:
     def test_ping_stats_status_result(self, tmp_path):
         with serve(tmp_path) as server:
             with connect(server) as client:
-                assert client.ping()["protocol"] == 1
+                assert client.ping()["protocol"] == 2
                 reply = submit_raw(client, SWEEP_JOB)
                 job_id = reply["job_id"]
                 wait_until(lambda: client.status(job_id)["state"]
