@@ -6,8 +6,10 @@ Usage::
     python -m repro run --benchmark RD --design Throughput-Effective
     python -m repro compare --benchmark RD --designs TB-DOR,CP-CR-4VC
     python -m repro area
+    python -m repro power --benchmark RD --design Throughput-Effective
     python -m repro sweep --design TB-DOR --rates 0.01,0.03,0.05
     python -m repro explore --preset figure2 --jobs 4 --out results/figure2
+    python -m repro explore --preset power --out results/power
     python -m repro run --benchmark RD --trace --sample-interval 100 \
         --telemetry-out out/rd
     python -m repro report out/rd --heatmaps
@@ -223,6 +225,58 @@ def _cmd_area(args) -> int:
     return 0
 
 
+def _cmd_power(args) -> int:
+    """Per-component NoC power for one design on one benchmark, priced
+    across technology nodes (`repro power`)."""
+    from .power import ActivityCounts, design_power
+    from .power.tech import tech_node
+
+    try:
+        nodes = [int(n) for n in args.nodes.split(",")]
+        for nm in nodes:
+            tech_node(nm)
+    except (ValueError, KeyError) as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+    prof = profile(args.benchmark.upper())
+    design = _design(args.design)
+    chip = build_chip(prof, design=design, seed=args.seed)
+    result = chip.run(warmup=args.warmup, measure=args.measure)
+    activity = ActivityCounts.from_result(result)
+    reports = {nm: design_power(design, activity, node=nm,
+                                ipc=result.ipc) for nm in nodes}
+
+    base = reports[nodes[0]]
+    print(f"benchmark           {result.benchmark}")
+    print(f"design              {design.name}")
+    print(f"IPC                 {result.ipc:.2f}  over "
+          f"{activity.cycles} icnt cycles")
+    print(f"activity            {activity.crossbar_traversals} crossbar · "
+          f"{activity.buffer_reads} rd · {activity.buffer_writes} wr · "
+          f"{activity.link_flit_hops} link hops")
+    print(f"\ncomponent breakdown at {base.tech_nm} nm "
+          f"({base.frequency_ghz:.3f} GHz):")
+    total = base.total_w
+    for label, watts in (("crossbar", base.crossbar_w),
+                         ("buffers", base.buffer_w),
+                         ("allocators", base.allocator_w),
+                         ("links", base.link_w),
+                         ("leakage (routers)", base.leak_routers_w),
+                         ("leakage (links)", base.leak_links_w)):
+        share = watts / total if total else 0.0
+        print(f"  {label:18s} {watts * 1e3:8.2f} mW  {share:6.1%}")
+    print(f"  {'total':18s} {total * 1e3:8.2f} mW")
+    print(f"\n{'node':>5s} {'GHz':>6s} {'dynamic':>9s} {'leakage':>9s} "
+          f"{'total':>9s} {'pJ/flit':>8s} {'IPC/W':>8s}")
+    for nm in nodes:
+        r = reports[nm]
+        ipw = f"{r.ipc_per_watt:8.1f}" if r.ipc_per_watt else f"{'-':>8s}"
+        print(f"{nm:4d}n {r.frequency_ghz:6.3f} "
+              f"{r.dynamic_w * 1e3:7.2f}mW {r.leakage_w * 1e3:7.2f}mW "
+              f"{r.total_w * 1e3:7.2f}mW {r.energy_per_flit_pj:8.1f} "
+              f"{ipw}")
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     design = _apply_checks(_design(args.design), args)
     rates = [float(r) for r in args.rates.split(",")]
@@ -289,19 +343,32 @@ def _cmd_explore(args) -> int:
               f"({stage['executed']} run, {stage['cached']} cached, "
               f"{stage['seconds']:.1f}s)")
 
+    base_node = result.tech_nodes[0]
     print(f"\n{'rank':>4s} {'design':26s} {'fidelity':9s} {'HM IPC':>8s} "
-          f"{'NoC mm2':>8s} {'chip mm2':>9s} {'IPC/mm2':>8s} {'Pareto':>7s}")
+          f"{'NoC mm2':>8s} {'chip mm2':>9s} {'IPC/mm2':>8s} "
+          f"{'NoC mW':>7s} {'IPC/W':>7s} {'Pareto':>7s}")
     for rank, name in enumerate(result.ranking, start=1):
         c = result[name]
         hm = f"{c.hm_ipc:8.1f}" if c.hm_ipc is not None else f"{'-':>8s}"
         te = (f"{c.throughput_effectiveness:8.4f}"
               if c.throughput_effectiveness is not None else f"{'-':>8s}")
-        mark = "*" if c.on_frontier else ""
+        mw = (f"{c.noc_power_w * 1e3:7.1f}"
+              if c.noc_power_w is not None else f"{'-':>7s}")
+        ipw = (f"{c.ipc_per_watt:7.1f}"
+               if c.ipc_per_watt is not None else f"{'-':>7s}")
+        mark = ("*" if c.on_frontier else "") + \
+            ("W" if c.on_frontier3d and not c.on_frontier else "")
         print(f"{rank:4d} {name:26s} {c.fidelity:9s} {hm} "
               f"{c.noc_area_mm2:8.2f} {c.chip_area_mm2:9.1f} {te} "
-              f"{mark:>7s}")
+              f"{mw} {ipw} {mark:>7s}")
     print(f"\nPareto frontier (HM IPC vs NoC mm2): "
           f"{', '.join(result.frontier) or '(none)'}")
+    print(f"Pareto frontier (IPC, mm2, W @ {base_node} nm): "
+          f"{', '.join(result.frontier3d) or '(none)'}")
+    if len(result.tech_nodes) > 1:
+        print(f"technology sweep: "
+              f"{', '.join(f'{n} nm' for n in result.tech_nodes)} "
+              f"(see tech_nodes.csv with --out)")
 
     if args.out:
         written = result.write_artifacts(args.out)
@@ -473,6 +540,13 @@ def _cmd_report(args) -> int:
         print(f"  network   p50 {netlat['p50']:.0f}  "
               f"p95 {netlat['p95']:.0f}  p99 {netlat['p99']:.0f}  "
               f"max {netlat['max']:.0f}")
+        activity = net.get("activity")
+        if activity:
+            print(f"  activity  {activity['crossbar_traversals']} "
+                  f"crossbar · {activity['buffer_reads']} rd · "
+                  f"{activity['buffer_writes']} wr · "
+                  f"{activity['link_flit_hops']} link hops  "
+                  f"(power-model counters; price with `repro power`)")
     trace = summary.get("trace")
     if trace and trace.get("per_class"):
         _print_decomposition(trace)
@@ -584,6 +658,17 @@ def make_parser() -> argparse.ArgumentParser:
     area = sub.add_parser("area", help="area model (Table VI)")
     area.add_argument("--design")
 
+    power = sub.add_parser(
+        "power", help="per-component NoC power across technology nodes")
+    power.add_argument("--benchmark", required=True)
+    power.add_argument("--design", default="TB-DOR")
+    power.add_argument("--nodes", default="65,45,32,22", metavar="NM,...",
+                       help="technology nodes to price, first = breakdown "
+                            "node (default 65,45,32,22)")
+    power.add_argument("--warmup", type=int, default=500)
+    power.add_argument("--measure", type=int, default=1500)
+    power.add_argument("--seed", type=int, default=11)
+
     sweep = sub.add_parser("sweep", help="open-loop load-latency sweep")
     sweep.add_argument("--design", default="TB-DOR")
     sweep.add_argument("--rates", default="0.005,0.02,0.04,0.06")
@@ -598,10 +683,12 @@ def make_parser() -> argparse.ArgumentParser:
     explore = sub.add_parser(
         "explore", help="design-space exploration (screen/halve/confirm)")
     explore.add_argument("--preset", default="smoke",
-                         help="figure2 | smoke | extended (default: smoke)")
+                         help="figure2 | smoke | extended | power "
+                              "(default: smoke)")
     explore.add_argument("--out", default=None, metavar="DIR",
                          help="write exploration.json / candidates.csv / "
-                              "frontier.csv / host.json under DIR")
+                              "frontier.csv / tech_nodes.csv / host.json "
+                              "under DIR")
     explore.add_argument("--cache", default=None, metavar="DIR",
                          help="on-disk result cache directory")
     explore.add_argument("--seed", type=int, default=None,
@@ -713,6 +800,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "area": _cmd_area,
+    "power": _cmd_power,
     "sweep": _cmd_sweep,
     "explore": _cmd_explore,
     "serve": _cmd_serve,

@@ -12,12 +12,14 @@ subsystem searches it instead of replaying seven hand-picked points:
   (open-loop screen → successive halving → full-mix confirm), fanned out
   through :mod:`repro.parallel` with deterministic seeds and the on-disk
   cache;
-* :mod:`repro.dse.pareto` — exact two-objective frontier with
-  dominated-point bookkeeping;
+* :mod:`repro.dse.pareto` — exact two-objective (IPC, mm²) and
+  three-objective (IPC, mm², W) frontiers with dominated-point
+  bookkeeping;
 * :mod:`repro.dse.result` — :class:`ExplorationResult` with pinned
   JSON/CSV artifact schemas;
 * :mod:`repro.dse.presets` — ``figure2`` (the paper's walk,
-  reproduced exactly), ``smoke`` (CI-sized) and ``extended``.
+  reproduced exactly), ``smoke`` (CI-sized), ``extended`` and ``power``
+  (``figure2`` plus the 65/45/32/22 nm technology sweep).
 
 Quickstart::
 
@@ -30,21 +32,24 @@ Quickstart::
 
 from .engine import (SEED_POLICIES, ExplorationSpec, FidelityLadder,
                      StageReport, explore, explore_preset)
-from .pareto import ParetoPoint, ParetoResult, dominates, pareto_frontier
+from .pareto import (ParetoPoint, ParetoPoint3, ParetoResult, dominates,
+                     dominates3, pareto_frontier, pareto_frontier3)
 from .presets import (FIGURE2_DESIGNS, FULL_MIX, PRESETS, ROUND_MIX,
-                      extended, figure2, preset, smoke)
-from .result import (CSV_COLUMNS, SCHEMA_VERSION, CandidateResult,
-                     ExplorationResult, StageOutcome)
+                      extended, figure2, power, preset, smoke)
+from .result import (CSV_COLUMNS, NODE_CSV_COLUMNS, READABLE_SCHEMAS,
+                     SCHEMA_VERSION, CandidateResult, ExplorationResult,
+                     StageOutcome)
 from .space import (MESH_AXIS, Axis, Candidate, RejectedPoint, SearchSpace,
                     design_label)
 
 __all__ = [
     "Axis", "Candidate", "CandidateResult", "CSV_COLUMNS",
     "ExplorationResult", "ExplorationSpec", "FidelityLadder",
-    "FIGURE2_DESIGNS", "FULL_MIX", "MESH_AXIS", "ParetoPoint",
-    "ParetoResult", "PRESETS", "RejectedPoint", "ROUND_MIX",
-    "SCHEMA_VERSION", "SearchSpace", "SEED_POLICIES", "StageOutcome",
-    "StageReport", "design_label", "dominates", "explore",
-    "explore_preset", "extended", "figure2", "pareto_frontier", "preset",
-    "smoke",
+    "FIGURE2_DESIGNS", "FULL_MIX", "MESH_AXIS", "NODE_CSV_COLUMNS",
+    "ParetoPoint", "ParetoPoint3", "ParetoResult", "PRESETS",
+    "READABLE_SCHEMAS", "RejectedPoint", "ROUND_MIX", "SCHEMA_VERSION",
+    "SearchSpace", "SEED_POLICIES", "StageOutcome", "StageReport",
+    "design_label", "dominates", "dominates3", "explore",
+    "explore_preset", "extended", "figure2", "pareto_frontier",
+    "pareto_frontier3", "power", "preset", "smoke",
 ]

@@ -19,7 +19,12 @@ ranking consumes only the task payloads, never host-side timing.
 Ranking and the Pareto frontier come last: candidates order by the
 highest fidelity they reached, then the stage metric, then name; the
 frontier is exact over (harmonic-mean IPC max, NoC mm² min) among
-every candidate with a closed-loop measurement.
+every candidate with a closed-loop measurement.  A final analytic pass
+prices each such candidate in watts from its activity counters
+(:mod:`repro.power`) at every node in ``spec.tech_nodes`` and computes
+the exact (IPC, mm², W) frontier at the base node — no extra cycle runs,
+so the (IPC, mm²) projection is bit-identical to a power-free
+exploration of the same space.
 """
 
 from __future__ import annotations
@@ -33,11 +38,13 @@ from ..area.chip import design_chip_area_mm2, design_noc_area
 from ..experiments import closed_task, open_loop_task
 from ..noc.traffic import UniformManyToFew
 from ..parallel import ReportCollector, run_tasks
+from ..power import ActivityCounts, design_power, tech_node
 from ..system.accelerator import SimulationResult
 from ..system.metrics import harmonic_mean
 from ..telemetry.profiler import HostProfiler
 from ..workloads.profiles import profile
-from .pareto import ParetoPoint, pareto_frontier
+from .pareto import (ParetoPoint, ParetoPoint3, pareto_frontier,
+                     pareto_frontier3)
 from .result import CandidateResult, ExplorationResult, StageOutcome
 from .space import Candidate, SearchSpace
 
@@ -85,6 +92,11 @@ class ExplorationSpec:
     ladder: FidelityLadder = FidelityLadder()
     seed: int = 11
     seed_policy: str = "derived"
+    #: Technology nodes the power model prices every candidate at; the
+    #: first entry is the base node for the W objective and the 3-D
+    #: frontier.  Power is analytic over the same simulations, so extra
+    #: nodes cost no cycle runs.
+    tech_nodes: Tuple[int, ...] = (65,)
 
     def __post_init__(self) -> None:
         if self.seed_policy not in SEED_POLICIES:
@@ -92,6 +104,10 @@ class ExplorationSpec:
                              f"{SEED_POLICIES}")
         if not self.mix:
             raise ValueError("mix must name at least one benchmark")
+        if not self.tech_nodes:
+            raise ValueError("tech_nodes must name at least one node")
+        for nm in self.tech_nodes:
+            tech_node(nm)              # raises on unknown nodes
         for abbr in (*self.mix, *self.round_mix):
             profile(abbr)              # raises on unknown abbreviations
 
@@ -134,6 +150,20 @@ def _keep_count(evaluated: int, target: int, floor: int) -> int:
     return min(evaluated, max(floor, target))
 
 
+def _merged_activity(runs: Sequence[SimulationResult]) -> ActivityCounts:
+    """One activity window spanning a candidate's whole benchmark mix:
+    cycles and counters sum exactly (the mix runs are independent
+    simulations, so their windows concatenate)."""
+    return ActivityCounts(
+        cycles=sum(r.icnt_cycles for r in runs),
+        crossbar_traversals=sum(r.crossbar_traversals for r in runs),
+        buffer_reads=sum(r.buffer_reads for r in runs),
+        buffer_writes=sum(r.buffer_writes for r in runs),
+        link_flit_hops=sum(r.link_flit_hops for r in runs),
+        flits_ejected=sum(r.flits_ejected for r in runs),
+    )
+
+
 def explore_preset(name: str, seed: Optional[int] = None,
                    jobs: Optional[int] = None, cache=None,
                    progress=None) -> ExplorationResult:
@@ -168,6 +198,10 @@ def explore(spec: ExplorationSpec, jobs: Optional[int] = None,
     profiler = HostProfiler()
     stage_reports: List[StageReport] = []
     history: Dict[str, List[StageOutcome]] = {}
+    #: Per candidate: the full mix's SimulationResults at the *latest*
+    #: closed-loop stage it reached — the activity window the power
+    #: model prices (each stage overwrites the one before).
+    closed_results: Dict[str, List[SimulationResult]] = {}
 
     with profiler.section("enumerate"):
         candidates, rejected_points = spec.space.enumerate()
@@ -246,9 +280,10 @@ def explore(spec: ExplorationSpec, jobs: Optional[int] = None,
             metrics, hm_ipc = {}, {}
             it = iter(payloads)
             for c in cohort:
-                ipcs = [SimulationResult.from_json(next(it)["result"]).ipc
+                runs = [SimulationResult.from_json(next(it)["result"])
                         for _ in mix]
-                hm_ipc[c.name] = harmonic_mean(ipcs)
+                closed_results[c.name] = runs
+                hm_ipc[c.name] = harmonic_mean([r.ipc for r in runs])
                 metrics[c.name] = hm_ipc[c.name] / chip_area[c.name]
             keep = _keep_count(len(cohort), math.ceil(len(cohort) / 2),
                                ladder.min_survivors)
@@ -271,9 +306,10 @@ def explore(spec: ExplorationSpec, jobs: Optional[int] = None,
             metrics, hm_ipc = {}, {}
             it = iter(payloads)
             for c in cohort:
-                ipcs = [SimulationResult.from_json(next(it)["result"]).ipc
+                runs = [SimulationResult.from_json(next(it)["result"])
                         for _ in spec.mix]
-                hm_ipc[c.name] = harmonic_mean(ipcs)
+                closed_results[c.name] = runs
+                hm_ipc[c.name] = harmonic_mean([r.ipc for r in runs])
                 metrics[c.name] = hm_ipc[c.name] / chip_area[c.name]
             return metrics, hm_ipc, len(cohort)   # confirm cuts nobody
 
@@ -318,6 +354,30 @@ def explore(spec: ExplorationSpec, jobs: Optional[int] = None,
             r.on_frontier = r.name in frontier.frontier
             r.dominated_by = frontier.dominated_by.get(r.name)
 
+    # -- power: price every closed-loop candidate at each node ---------------
+    with profiler.section("power"):
+        points3: List[ParetoPoint3] = []
+        for r in results:
+            runs = closed_results.get(r.name)
+            if r.hm_ipc is None or not runs:
+                continue
+            c = by_name[r.name]
+            activity = _merged_activity(runs)
+            reports = [design_power(c.design, activity, mesh=c.mesh,
+                                    num_mcs=c.num_mcs, node=nm,
+                                    ipc=r.hm_ipc)
+                       for nm in spec.tech_nodes]
+            base = reports[0]
+            r.noc_power_w = base.total_w
+            r.ipc_per_watt = base.ipc_per_watt
+            r.power_by_node = [report.to_json() for report in reports]
+            points3.append(ParetoPoint3(r.name, r.hm_ipc,
+                                        r.noc_area_mm2, base.total_w))
+        frontier3 = pareto_frontier3(points3)
+        for r in results:
+            r.on_frontier3d = r.name in frontier3.frontier
+            r.dominated_by_3d = frontier3.dominated_by.get(r.name)
+
     host = {
         "wall_seconds": sum(profiler.sections.values()),
         "phases": dict(profiler.sections),
@@ -336,5 +396,7 @@ def explore(spec: ExplorationSpec, jobs: Optional[int] = None,
                   for p in rejected_points],
         ranking=ranking,
         frontier=list(frontier.frontier),
+        tech_nodes=list(spec.tech_nodes),
+        frontier3d=list(frontier3.frontier),
         host=host,
     )

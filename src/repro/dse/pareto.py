@@ -76,3 +76,53 @@ def pareto_frontier(points: Sequence[ParetoPoint]) -> ParetoResult:
         else:
             dominated_by[point.name] = dominator.name
     return ParetoResult(tuple(frontier), dominated_by)
+
+
+# -- three objectives: (IPC max, mm² min, W min) ----------------------------
+
+
+@dataclass(frozen=True)
+class ParetoPoint3:
+    """One candidate in (IPC, mm², W) objective space: ``ipc`` is
+    maximized, ``area`` and ``watts`` minimized."""
+
+    name: str
+    ipc: float
+    area: float
+    watts: float
+
+
+def dominates3(a: ParetoPoint3, b: ParetoPoint3) -> bool:
+    """True when ``a`` is at least as good as ``b`` on all three
+    objectives and strictly better on at least one."""
+    return (a.ipc >= b.ipc and a.area <= b.area and a.watts <= b.watts
+            and (a.ipc > b.ipc or a.area < b.area or a.watts < b.watts))
+
+
+def _strength3(point: ParetoPoint3) -> Tuple[float, float, float, str]:
+    """Deterministic total order: higher IPC first, then smaller area,
+    then smaller watts, then name."""
+    return (-point.ipc, point.area, point.watts, point.name)
+
+
+def pareto_frontier3(points: Sequence[ParetoPoint3]) -> ParetoResult:
+    """Exact (IPC, mm², W) frontier with the same dominance/bookkeeping
+    contract as :func:`pareto_frontier`: a 2-D frontier's invariants hold
+    objective-for-objective, and any point on the 3-D frontier whose
+    watts are ignored projects onto or above the 2-D frontier (a superset
+    — adding an objective can only *add* non-dominated points)."""
+    names = [p.name for p in points]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(f"duplicate point names {dupes}")
+    ordered = sorted(points, key=_strength3)
+    frontier: List[str] = []
+    dominated_by: Dict[str, str] = {}
+    for point in ordered:
+        dominator = next((other for other in ordered
+                          if dominates3(other, point)), None)
+        if dominator is None:
+            frontier.append(point.name)
+        else:
+            dominated_by[point.name] = dominator.name
+    return ParetoResult(tuple(frontier), dominated_by)

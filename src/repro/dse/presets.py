@@ -1,4 +1,4 @@
-"""Canonical explorations: ``figure2``, ``smoke`` and ``extended``.
+"""Canonical explorations: ``figure2``, ``smoke``, ``extended``, ``power``.
 
 * ``figure2`` replays the paper's Figure 2 walk exactly: the seven named
   design points, no screening or halving, full-window closed-loop runs on
@@ -12,11 +12,18 @@
   channel widths, double networks, MC injection ports): hundreds of raw
   points, roughly a third rejected by the constraint pass up front.  Run
   it with ``--jobs`` and a warm cache; it is never run implicitly.
+* ``power`` is ``figure2`` with the full 65/45/32/22 nm technology sweep:
+  the *same* simulations (same tasks, same seeds, shared cache entries),
+  so its (IPC, mm²) numbers are bit-identical to ``figure2``, plus an
+  analytic (IPC, mm², W) frontier and per-node power reports.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, Tuple
+
+from ..power.tech import DEFAULT_NODES
 
 from ..core.builder import (BASELINE, CP_CR, CP_DOR, DOUBLE_BW,
                             DOUBLE_CP_CR, ONE_CYCLE, THROUGHPUT_EFFECTIVE,
@@ -117,10 +124,20 @@ def extended() -> ExplorationSpec:
     )
 
 
+def power() -> ExplorationSpec:
+    """``figure2`` across the technology table: identical simulation
+    tasks (so cache entries and every (IPC, mm²) number are shared
+    bit-for-bit with ``figure2``) priced at all of 65/45/32/22 nm, with
+    the (IPC, mm², W) frontier at the 65 nm base node."""
+    return dataclasses.replace(figure2(), name="power",
+                               tech_nodes=DEFAULT_NODES)
+
+
 PRESETS: Dict[str, object] = {
     "figure2": figure2,
     "smoke": smoke,
     "extended": extended,
+    "power": power,
 }
 
 

@@ -10,11 +10,19 @@ bit-identical across ``--jobs`` counts and cache states (golden-tested).
 
 Artifacts (``write_artifacts``) have pinned schemas:
 
-* ``exploration.json`` — the full result, ``{"schema": 1, ...}``;
+* ``exploration.json`` — the full result, ``{"schema": 2, ...}``;
 * ``candidates.csv`` / ``frontier.csv`` — fixed column order
   (:data:`CSV_COLUMNS`) for spreadsheet/pandas consumption;
+* ``tech_nodes.csv`` — one row per (candidate, technology node) with the
+  node-scaled power breakdown and per-node IPC/W rank
+  (:data:`NODE_CSV_COLUMNS`); written only when power was computed;
 * ``host.json`` — wall-clock, per-phase profile and cache tallies (the
   only artifact that varies run to run).
+
+Schema history: 1 carried the two-objective (IPC, mm²) payload; 2 adds
+the power objective (per-candidate watts, IPC/W, the per-node sweep and
+the 3-D frontier bookkeeping).  ``from_json`` still reads schema-1
+artifacts — the power fields default to "not computed".
 """
 
 from __future__ import annotations
@@ -27,15 +35,29 @@ from typing import Dict, List, Optional, Union
 
 #: Bumped whenever the result payload layout changes, so downstream
 #: consumers (and the BENCH trajectory) never misread an old artifact.
-SCHEMA_VERSION = 1
+#: 1 = two objectives (IPC, mm²); 2 adds the power objective.
+SCHEMA_VERSION = 2
+
+#: Schemas :meth:`ExplorationResult.from_json` can read.  Schema-1
+#: artifacts predate the power model; their power fields load as "not
+#: computed" defaults.
+READABLE_SCHEMAS = (1, 2)
 
 #: Pinned column order of ``candidates.csv`` and ``frontier.csv``.
 CSV_COLUMNS = (
     "rank", "name", "fidelity", "hm_ipc", "throughput_effectiveness",
     "chip_area_mm2", "noc_area_mm2", "on_frontier", "dominated_by",
+    "noc_power_w", "ipc_per_watt", "on_frontier3d", "dominated_by_3d",
     "placement", "routing", "half_routers", "channel_width",
     "vcs_per_class", "vc_buffer_depth", "double_network", "slice_mode",
     "mc_inject_ports", "mc_eject_ports", "mesh",
+)
+
+#: Pinned column order of ``tech_nodes.csv`` (one row per candidate ×
+#: technology node; ``rank_at_node`` orders by IPC/W within the node).
+NODE_CSV_COLUMNS = (
+    "name", "tech_nm", "frequency_ghz", "dynamic_w", "leakage_w",
+    "total_w", "energy_per_flit_pj", "ipc_per_watt", "rank_at_node",
 )
 
 
@@ -73,6 +95,16 @@ class CandidateResult:
     throughput_effectiveness: Optional[float]   # hm_ipc / chip_area_mm2
     on_frontier: bool = False
     dominated_by: Optional[str] = None
+    #: NoC power at the base node (W) and hm_ipc / watts — None until a
+    #: closed-loop stage supplies activity counters (schema >= 2).
+    noc_power_w: Optional[float] = None
+    ipc_per_watt: Optional[float] = None
+    #: ``PowerReport.to_json()`` dicts, one per swept technology node in
+    #: the exploration's ``tech_nodes`` order.
+    power_by_node: Optional[List[dict]] = None
+    #: (IPC, mm², W) frontier bookkeeping, same contract as the 2-D pair.
+    on_frontier3d: bool = False
+    dominated_by_3d: Optional[str] = None
 
     def to_json(self) -> dict:
         data = asdict(self)
@@ -105,6 +137,13 @@ class ExplorationResult:
     ranking: List[str]
     #: Pareto-frontier member names (IPC desc, area asc, name).
     frontier: List[str]
+    #: Technology nodes each candidate's power was priced at; the first
+    #: entry is the base node used for the W objective.
+    tech_nodes: List[int] = field(default_factory=lambda: [65])
+    #: (IPC, mm², W) frontier member names at the base node.  A superset
+    #: of the 2-D frontier's names: adding an objective never removes a
+    #: non-dominated point.
+    frontier3d: List[str] = field(default_factory=list)
     #: Host-side stats (wall seconds, per-phase profile, cache tallies).
     #: Deliberately NOT serialized by :meth:`to_json` — results must be
     #: bit-identical across hosts, jobs counts and cache states.
@@ -129,14 +168,20 @@ class ExplorationResult:
             "rejected": self.rejected,
             "ranking": list(self.ranking),
             "frontier": list(self.frontier),
+            "tech_nodes": list(self.tech_nodes),
+            "frontier3d": list(self.frontier3d),
         }
 
     @classmethod
     def from_json(cls, data: dict) -> "ExplorationResult":
-        """Inverse of :meth:`to_json` with field-for-field equality."""
-        if data.get("schema") != SCHEMA_VERSION:
+        """Inverse of :meth:`to_json` with field-for-field equality.
+
+        Also reads schema-1 (pre-power) artifacts: their power fields
+        load as the "not computed" defaults."""
+        if data.get("schema") not in READABLE_SCHEMAS:
             raise ValueError(f"exploration artifact schema "
-                             f"{data.get('schema')!r} != {SCHEMA_VERSION}")
+                             f"{data.get('schema')!r} not in "
+                             f"{READABLE_SCHEMAS}")
         return cls(
             preset=data["preset"], seed=data["seed"],
             seed_policy=data["seed_policy"], mix=list(data["mix"]),
@@ -146,6 +191,8 @@ class ExplorationResult:
             rejected=list(data["rejected"]),
             ranking=list(data["ranking"]),
             frontier=list(data["frontier"]),
+            tech_nodes=list(data.get("tech_nodes", [65])),
+            frontier3d=list(data.get("frontier3d", [])),
         )
 
     # -- artifacts -----------------------------------------------------------
@@ -167,6 +214,12 @@ class ExplorationResult:
             "noc_area_mm2": repr(candidate.noc_area_mm2),
             "on_frontier": int(candidate.on_frontier),
             "dominated_by": candidate.dominated_by or "",
+            "noc_power_w": ("" if candidate.noc_power_w is None
+                            else repr(candidate.noc_power_w)),
+            "ipc_per_watt": ("" if candidate.ipc_per_watt is None
+                             else repr(candidate.ipc_per_watt)),
+            "on_frontier3d": int(candidate.on_frontier3d),
+            "dominated_by_3d": candidate.dominated_by_3d or "",
             "placement": design["placement"],
             "routing": design["routing"],
             "half_routers": int(design["half_routers"]),
@@ -193,11 +246,39 @@ class ExplorationResult:
             for candidate in ordered:
                 writer.writerow(self._csv_row(candidate))
 
+    def _node_rows(self) -> List[Dict[str, object]]:
+        """``tech_nodes.csv`` rows: every candidate × swept node, nodes
+        in sweep order, candidates ranked by IPC/W within each node (the
+        per-node ordering the technology sweep is meant to exhibit)."""
+        priced = [c for c in self.candidates if c.power_by_node]
+        rows: List[Dict[str, object]] = []
+        for index, node in enumerate(self.tech_nodes):
+            reports = [(c, c.power_by_node[index]) for c in priced
+                       if index < len(c.power_by_node)]
+            reports.sort(key=lambda pair: (
+                -(pair[1].get("ipc_per_watt") or 0.0), pair[0].name))
+            for rank, (candidate, report) in enumerate(reports, start=1):
+                ipw = report.get("ipc_per_watt")
+                rows.append({
+                    "name": candidate.name,
+                    "tech_nm": node,
+                    "frequency_ghz": repr(report["frequency_ghz"]),
+                    "dynamic_w": repr(report["dynamic_w"]),
+                    "leakage_w": repr(report["leakage_w"]),
+                    "total_w": repr(report["total_w"]),
+                    "energy_per_flit_pj":
+                        repr(report["energy_per_flit_pj"]),
+                    "ipc_per_watt": "" if ipw is None else repr(ipw),
+                    "rank_at_node": rank,
+                })
+        return rows
+
     def write_artifacts(self, out_dir: Union[str, Path]
                         ) -> Dict[str, Path]:
         """Write ``exploration.json``/``candidates.csv``/``frontier.csv``
-        (and ``host.json`` when host stats exist) under ``out_dir``;
-        returns ``{artifact name: path}``."""
+        (plus ``tech_nodes.csv`` when power was computed and ``host.json``
+        when host stats exist) under ``out_dir``; returns
+        ``{artifact name: path}``."""
         root = Path(out_dir)
         root.mkdir(parents=True, exist_ok=True)
         written: Dict[str, Path] = {}
@@ -215,6 +296,16 @@ class ExplorationResult:
         self._write_csv(path, [c for c in self.candidates
                                if c.on_frontier])
         written["frontier.csv"] = path
+
+        node_rows = self._node_rows()
+        if node_rows:
+            path = root / "tech_nodes.csv"
+            with open(path, "w", encoding="utf-8", newline="") as fh:
+                writer = csv.DictWriter(fh, fieldnames=NODE_CSV_COLUMNS)
+                writer.writeheader()
+                for row in node_rows:
+                    writer.writerow(row)
+            written["tech_nodes.csv"] = path
 
         if self.host is not None:
             path = root / "host.json"

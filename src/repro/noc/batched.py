@@ -592,3 +592,6 @@ class BatchedCore:
                     va_ok[ci] = False
 
         self.net._buffered_flits -= moved
+        stats = self.net.stats
+        stats.crossbar_traversals += moved
+        stats.buffer_reads += moved

@@ -132,6 +132,27 @@ def audit_flit_conservation(net) -> List[str]:
         problems.append(
             f"buffered-flit counter {net._buffered_flits} != {buffered} "
             f"flits actually buffered across routers")
+
+    # The power model's activity counters (DESIGN.md §17) obey exact
+    # mid-run identities: every switch grant reads one buffered flit;
+    # writes minus reads is precisely what is still buffered; and every
+    # link delivery was first sent (the gap is the flits in flight).
+    if stats.crossbar_traversals != stats.buffer_reads:
+        problems.append(
+            f"activity counter skew: crossbar_traversals="
+            f"{stats.crossbar_traversals} != buffer_reads="
+            f"{stats.buffer_reads}")
+    if stats.buffer_writes - stats.buffer_reads != buffered:
+        problems.append(
+            f"activity counter skew: buffer_writes={stats.buffer_writes} "
+            f"- buffer_reads={stats.buffer_reads} != {buffered} flits "
+            f"buffered")
+    carried = sum(ch.flits_carried for ch in net.channels)
+    if stats.link_flit_hops != carried - in_flight:
+        problems.append(
+            f"activity counter skew: link_flit_hops="
+            f"{stats.link_flit_hops} != carried={carried} - "
+            f"in-flight={in_flight}")
     return problems
 
 

@@ -336,6 +336,8 @@ class MeshNetwork:
                 n = channel.deliver(now)
                 if n:
                     self._buffered_flits += n
+                    self.stats.link_flit_hops += n
+                    self.stats.buffer_writes += n
                     dst = channel.dst_router
                     # The arriving flits sleep through the pipeline; any
                     # earlier obligation is already in ``dst.wake``.
@@ -387,7 +389,10 @@ class MeshNetwork:
                 before = router.occupancy
                 for flit, _port in router.step(now):
                     self._eject(flit, now)
-                self._buffered_flits += router.occupancy - before
+                moved = before - router.occupancy
+                self._buffered_flits -= moved
+                self.stats.crossbar_traversals += moved
+                self.stats.buffer_reads += moved
                 wake = router.next_wake(now)
                 if wake != NEVER:
                     router.wake = wake
@@ -420,6 +425,8 @@ class MeshNetwork:
                 if n:
                     flits_arrived = True
                     self._buffered_flits += n
+                    self.stats.link_flit_hops += n
+                    self.stats.buffer_writes += n
                 if not channel.busy:
                     scratch.append(channel)
             if scratch:
@@ -433,7 +440,10 @@ class MeshNetwork:
                     before = router.occupancy
                     for flit, _port in router.step_reference(now):
                         self._eject(flit, now)
-                    self._buffered_flits += router.occupancy - before
+                    moved = before - router.occupancy
+                    self._buffered_flits -= moved
+                    self.stats.crossbar_traversals += moved
+                    self.stats.buffer_reads += moved
                     if router.occupancy:
                         busy = True
             self._routers_active = busy
@@ -462,6 +472,8 @@ class MeshNetwork:
                 n = channel.deliver(now)
                 if n:
                     self._buffered_flits += n
+                    self.stats.link_flit_hops += n
+                    self.stats.buffer_writes += n
                 if not channel.busy:
                     scratch.append(channel)
             if scratch:
@@ -616,6 +628,7 @@ class MeshNetwork:
             self._source_occ[idx] -= 1
             self._source_flits -= 1
             self._buffered_flits += 1
+            self.stats.buffer_writes += 1
             self._routers_active = True
             if self._event_stepper:
                 # The injected flit sleeps through the pipeline; schedule

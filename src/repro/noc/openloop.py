@@ -37,6 +37,16 @@ class LoadLatencyPoint:
     latency_p50: float = 0.0
     latency_p95: float = 0.0
     latency_p99: float = 0.0
+    # Per-component activity totals over the whole run (warmup + measure),
+    # summed across slices — inputs to the repro.power model.  Defaults
+    # keep old serialized payloads loadable.
+    cycles: int = 0
+    crossbar_traversals: int = 0
+    buffer_reads: int = 0
+    buffer_writes: int = 0
+    link_flit_hops: int = 0
+    flits_injected: int = 0
+    flits_ejected: int = 0
 
     def to_json(self) -> dict:
         """JSON-compatible dict (``inf`` latencies included); floats
@@ -217,6 +227,13 @@ class OpenLoopRunner:
             latency_p50=tail["p50"],
             latency_p95=tail["p95"],
             latency_p99=tail["p99"],
+            cycles=stats.cycles,
+            crossbar_traversals=stats.crossbar_traversals,
+            buffer_reads=stats.buffer_reads,
+            buffer_writes=stats.buffer_writes,
+            link_flit_hops=stats.link_flit_hops,
+            flits_injected=stats.flits_injected,
+            flits_ejected=stats.flits_ejected,
         )
 
 

@@ -44,6 +44,19 @@ class NetworkStats:
         self.flits_ejected = 0
         self.packets_injected = 0
         self.packets_ejected = 0
+        #: Always-on per-component activity counters for the power model
+        #: (DESIGN.md §17).  Pure integer accounting over quantities every
+        #: stepper already computes, so keeping them on cannot perturb
+        #: results: a crossbar traversal is a switch-allocation grant
+        #: (every flit popped from an input VC, including ejection), a
+        #: buffer read accompanies each traversal, a buffer write is a
+        #: flit landing in a router input VC (source drain or channel
+        #: delivery), and a link flit-hop is one flit delivered over one
+        #: channel (credits excluded).
+        self.crossbar_traversals = 0
+        self.buffer_reads = 0
+        self.buffer_writes = 0
+        self.link_flit_hops = 0
         self.per_class: Dict[TrafficClass, _ClassStats] = {
             TrafficClass.REQUEST: _ClassStats(),
             TrafficClass.REPLY: _ClassStats(),
@@ -184,6 +197,10 @@ accepted_flit_rate` / :meth:`NetworkStats.injection_rate` switch to summing
         merged.flits_ejected += stats.flits_ejected
         merged.packets_injected += stats.packets_injected
         merged.packets_ejected += stats.packets_ejected
+        merged.crossbar_traversals += stats.crossbar_traversals
+        merged.buffer_reads += stats.buffer_reads
+        merged.buffer_writes += stats.buffer_writes
+        merged.link_flit_hops += stats.link_flit_hops
         for tclass, cs in stats.per_class.items():
             target = merged.per_class[tclass]
             target.packets += cs.packets

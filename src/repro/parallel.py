@@ -477,9 +477,10 @@ class SimTask:
             paper_config() if self.kind != "openloop" else None)
         spec = {
             # Bumped whenever the result payload format changes (schema 2:
-            # latency tail percentiles on results), so stale cache entries
-            # from older code are never served.
-            "schema": 2,
+            # latency tail percentiles; schema 3: per-component activity
+            # counters for the power model), so stale cache entries from
+            # older code are never served.
+            "schema": 3,
             "kind": self.kind,
             "seed": self.seed,
             "warmup": self.warmup,

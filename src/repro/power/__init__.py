@@ -1,0 +1,50 @@
+"""Per-component NoC power/energy model with technology scaling.
+
+The third axis of throughput-effectiveness: the paper ranks designs by
+IPC/mm² (ROADMAP item 4 asks for IPC/W as well), so this subsystem
+prices every design point in watts the same way :mod:`repro.area`
+prices it in mm²:
+
+* :mod:`repro.power.orion` — ORION-style per-event energies (crossbar
+  ∝ units·width², buffer accesses ∝ VCs·depth·flit bytes, allocator
+  ∝ VCs², links ∝ width, leakage ∝ mm²), each anchored at the 65 nm
+  baseline configuration with every other configuration a prediction;
+* :mod:`repro.power.tech` — the 65/45/32/22 nm scaling table
+  (vdd/frequency/capacitance/leakage/area factors);
+* :mod:`repro.power.report` — :class:`PowerReport` from the simulator's
+  always-on activity counters: computable from any ``SimulationResult``
+  or ``LoadLatencyPoint`` without rerunning, and analytically rescaled
+  across technology nodes.
+
+Quickstart::
+
+    from repro.power import power_report
+    from repro.system import build_chip
+
+    result = build_chip(profile("RD"), design=TE).run(warmup=500,
+                                                      measure=1500)
+    report = power_report(TE, result)          # 65 nm
+    print(f"{report.total_w:.3f} W  "
+          f"({report.energy_per_flit_pj:.1f} pJ/flit)")
+"""
+
+from .orion import (E_ALLOCATOR_ANCHOR_PJ, E_BUFFER_READ_ANCHOR_PJ,
+                    E_BUFFER_WRITE_ANCHOR_PJ, E_CROSSBAR_ANCHOR_PJ,
+                    E_LINK_ANCHOR_PJ, LEAKAGE_MW_PER_MM2, RouterEnergy,
+                    allocator_energy_pj, buffer_energy_pj,
+                    crossbar_energy_pj, leakage_w, link_energy_pj,
+                    router_energy)
+from .report import (ActivityCounts, PowerReport, design_power, node_sweep,
+                     power_report)
+from .tech import DEFAULT_NODES, F65_GHZ, TECH_NODES, VDD65, TechNode, \
+    tech_node
+
+__all__ = [
+    "ActivityCounts", "DEFAULT_NODES", "E_ALLOCATOR_ANCHOR_PJ",
+    "E_BUFFER_READ_ANCHOR_PJ", "E_BUFFER_WRITE_ANCHOR_PJ",
+    "E_CROSSBAR_ANCHOR_PJ", "E_LINK_ANCHOR_PJ", "F65_GHZ",
+    "LEAKAGE_MW_PER_MM2", "PowerReport", "RouterEnergy", "TECH_NODES",
+    "TechNode", "VDD65", "allocator_energy_pj", "buffer_energy_pj",
+    "crossbar_energy_pj", "design_power", "leakage_w", "link_energy_pj",
+    "node_sweep", "power_report", "router_energy", "tech_node",
+]

@@ -1,0 +1,124 @@
+"""Per-component router and link energy model (ORION-style, 65 nm anchor).
+
+Mirrors the calibration discipline of :mod:`repro.area.orion`: each
+component's energy obeys the functional form ORION 2.0's numbers obey,
+with one calibration constant per component anchored at the baseline
+configuration (65 nm, 16-byte flits, 2 VCs × 8-flit buffers, 5×5 matrix
+crossbar).  Every other configuration is a *prediction* of the form; the
+power-model goldens pin the anchors exactly and check predictions within
+tolerance.
+
+* **Crossbar** — a matrix crossbar's switched capacitance grows with its
+  datapath complexity (the same ``crossbar_units`` cell count the area
+  model uses) times ``width²``: a 5×5 full crossbar moving one 16-byte
+  flit costs 1.2 pJ; a half-router's 12-unit datapath is priced by the
+  same constant.
+* **Buffers** — SRAM access energy grows with the accessed row (flit
+  bytes) and with the array size (VCs × depth), since longer bitlines
+  switch more capacitance: ``E ∝ VCs · depth · flit_bytes``.  Anchors:
+  0.62 pJ per write and 0.48 pJ per read at 2 VCs × 8 × 16 B.
+* **Allocator** — dominated by VC allocation, quadratic in the VC count
+  like its area: 0.024 pJ per granted traversal at 2 VCs.
+* **Links** — one flit-traversal of a mesh link switches capacitance
+  linear in the channel width: 1.75 pJ at 16 B (deliberately echoing the
+  0.175 mm²-per-link area anchor).
+* **Leakage** — proportional to layout area per structure:
+  2.5 mW per mm² at 65 nm, scaled per node by the technology table.
+
+All dynamic energies are per *event* at the 65 nm anchor; technology
+scaling multiplies them by :attr:`repro.power.tech.TechNode.dynamic_scale`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..area.orion import crossbar_units
+
+#: Calibration anchors (65 nm, 16-byte flits) — pinned by the goldens.
+_BASE_WIDTH = 16.0
+_FULL_MATRIX_UNITS = 25                       # 5x5 matrix crossbar
+E_CROSSBAR_ANCHOR_PJ = 1.2                    # full 5x5 crossbar, 16 B
+E_BUFFER_WRITE_ANCHOR_PJ = 0.62               # 2 VCs x 8 deep x 16 B
+E_BUFFER_READ_ANCHOR_PJ = 0.48                # 2 VCs x 8 deep x 16 B
+E_ALLOCATOR_ANCHOR_PJ = 0.024                 # 2 VCs
+E_LINK_ANCHOR_PJ = 1.75                       # 16 B channel
+LEAKAGE_MW_PER_MM2 = 2.5                      # 65 nm
+
+_K_CROSSBAR = E_CROSSBAR_ANCHOR_PJ / (_FULL_MATRIX_UNITS * _BASE_WIDTH ** 2)
+_K_BUF_WRITE = E_BUFFER_WRITE_ANCHOR_PJ / (2 * 8 * _BASE_WIDTH)
+_K_BUF_READ = E_BUFFER_READ_ANCHOR_PJ / (2 * 8 * _BASE_WIDTH)
+_K_ALLOCATOR = E_ALLOCATOR_ANCHOR_PJ / (2 ** 2)
+_K_LINK = E_LINK_ANCHOR_PJ / _BASE_WIDTH
+
+
+@dataclass(frozen=True)
+class RouterEnergy:
+    """Per-event energies of one router instance (pJ, 65 nm)."""
+
+    crossbar_pj: float       # per switch traversal
+    buffer_write_pj: float   # per flit written into an input VC
+    buffer_read_pj: float    # per flit read out of an input VC
+    allocator_pj: float      # per granted traversal
+
+    @property
+    def traversal_pj(self) -> float:
+        """Energy of one full flit pass through the router: buffer write
+        + buffer read + allocation + crossbar."""
+        return (self.crossbar_pj + self.buffer_write_pj
+                + self.buffer_read_pj + self.allocator_pj)
+
+
+def crossbar_energy_pj(channel_width: int, half: bool = False,
+                       inject_ports: int = 1, eject_ports: int = 1) -> float:
+    """Energy of one flit traversal of the crossbar (pJ, 65 nm)."""
+    if channel_width <= 0:
+        raise ValueError("channel width must be positive")
+    units = crossbar_units(half, inject_ports, eject_ports)
+    return _K_CROSSBAR * units * channel_width ** 2
+
+
+def buffer_energy_pj(channel_width: int, num_vcs: int,
+                     buffer_depth: int = 8, write: bool = True) -> float:
+    """Energy of one buffer access (pJ, 65 nm): grows with the accessed
+    flit and with the per-port array size (VCs × depth)."""
+    if channel_width <= 0 or num_vcs <= 0 or buffer_depth <= 0:
+        raise ValueError("buffer parameters must be positive")
+    k = _K_BUF_WRITE if write else _K_BUF_READ
+    return k * num_vcs * buffer_depth * channel_width
+
+
+def allocator_energy_pj(num_vcs: int) -> float:
+    """Energy of one switch/VC allocation (pJ, 65 nm), quadratic in VCs."""
+    if num_vcs <= 0:
+        raise ValueError("VC count must be positive")
+    return _K_ALLOCATOR * num_vcs ** 2
+
+
+def link_energy_pj(channel_width: int) -> float:
+    """Energy of one flit-traversal of one mesh link (pJ, 65 nm)."""
+    if channel_width <= 0:
+        raise ValueError("channel width must be positive")
+    return _K_LINK * channel_width
+
+
+def leakage_w(area_mm2: float) -> float:
+    """Leakage power of ``area_mm2`` of NoC layout at 65 nm (watts)."""
+    if area_mm2 < 0:
+        raise ValueError("area must be non-negative")
+    return LEAKAGE_MW_PER_MM2 * area_mm2 * 1e-3
+
+
+def router_energy(channel_width: int, num_vcs: int, half: bool = False,
+                  buffer_depth: int = 8, inject_ports: int = 1,
+                  eject_ports: int = 1) -> RouterEnergy:
+    """Per-event energy breakdown of one router instance (65 nm)."""
+    return RouterEnergy(
+        crossbar_pj=crossbar_energy_pj(channel_width, half,
+                                       inject_ports, eject_ports),
+        buffer_write_pj=buffer_energy_pj(channel_width, num_vcs,
+                                         buffer_depth, write=True),
+        buffer_read_pj=buffer_energy_pj(channel_width, num_vcs,
+                                        buffer_depth, write=False),
+        allocator_pj=allocator_energy_pj(num_vcs),
+    )

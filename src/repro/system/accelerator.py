@@ -57,6 +57,17 @@ class SimulationResult:
     latency_p50: float = 0.0
     latency_p95: float = 0.0
     latency_p99: float = 0.0
+    # Per-component activity over the measurement window, summed across
+    # physical networks (always-on NetworkStats counters; DESIGN.md §17).
+    # They feed the repro.power model post-hoc, so a PowerReport is
+    # computable from any cached result without rerunning.  Defaults keep
+    # old serialized payloads loadable.
+    crossbar_traversals: int = 0
+    buffer_reads: int = 0
+    buffer_writes: int = 0
+    link_flit_hops: int = 0
+    flits_injected: int = 0
+    flits_ejected: int = 0
 
     def speedup_over(self, baseline: "SimulationResult") -> float:
         if baseline.ipc == 0:
@@ -100,6 +111,12 @@ class _Snapshot:
     l1_accesses: int
     l2_hits: int
     l2_accesses: int
+    crossbar_traversals: int = 0
+    buffer_reads: int = 0
+    buffer_writes: int = 0
+    link_flit_hops: int = 0
+    flits_injected: int = 0
+    flits_ejected: int = 0
     latency_hist: object = None          # StreamingHistogram copy
 
 
@@ -425,6 +442,13 @@ class Accelerator:
             l1_accesses=sum(core.l1.accesses for core in self.cores),
             l2_hits=sum(mc.l2.hits for mc in self.mcs),
             l2_accesses=sum(mc.l2.accesses for mc in self.mcs),
+            crossbar_traversals=sum(net.stats.crossbar_traversals
+                                    for net in nets),
+            buffer_reads=sum(net.stats.buffer_reads for net in nets),
+            buffer_writes=sum(net.stats.buffer_writes for net in nets),
+            link_flit_hops=sum(net.stats.link_flit_hops for net in nets),
+            flits_injected=sum(net.stats.flits_injected for net in nets),
+            flits_ejected=sum(net.stats.flits_ejected for net in nets),
             latency_hist=latency_hist,
         )
 
@@ -481,6 +505,13 @@ class Accelerator:
             latency_p50=tail["p50"],
             latency_p95=tail["p95"],
             latency_p99=tail["p99"],
+            crossbar_traversals=(after.crossbar_traversals
+                                 - before.crossbar_traversals),
+            buffer_reads=after.buffer_reads - before.buffer_reads,
+            buffer_writes=after.buffer_writes - before.buffer_writes,
+            link_flit_hops=after.link_flit_hops - before.link_flit_hops,
+            flits_injected=after.flits_injected - before.flits_injected,
+            flits_ejected=after.flits_ejected - before.flits_ejected,
         )
 
 

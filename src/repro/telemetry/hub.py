@@ -115,6 +115,17 @@ class TelemetryHub:
                 "name": net.name,
                 "cycles": cycles,
                 "mesh": [net.mesh.cols, net.mesh.rows],
+                # The always-on power-model counters (DESIGN.md §17), so
+                # `repro report` can show activity — and a PowerReport is
+                # derivable from any archived summary.json.
+                "activity": {
+                    "crossbar_traversals": net.stats.crossbar_traversals,
+                    "buffer_reads": net.stats.buffer_reads,
+                    "buffer_writes": net.stats.buffer_writes,
+                    "link_flit_hops": net.stats.link_flit_hops,
+                    "flits_injected": net.stats.flits_injected,
+                    "flits_ejected": net.stats.flits_ejected,
+                },
                 "latency": net.stats.latency_summary(),
                 "network_latency":
                     net.stats.latency_summary(network_only=True),

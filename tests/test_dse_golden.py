@@ -15,8 +15,8 @@ import json
 
 import pytest
 
-from repro.dse import (CSV_COLUMNS, ExplorationResult, FidelityLadder,
-                       explore, figure2)
+from repro.dse import (CSV_COLUMNS, NODE_CSV_COLUMNS, ExplorationResult,
+                       FidelityLadder, explore, figure2, power)
 from repro.parallel import ReportCollector
 
 #: The head example's Figure 2 ordering, best throughput-effectiveness
@@ -40,6 +40,13 @@ def tiny_figure2():
         ladder=FidelityLadder(screen=False, halving_rounds=0,
                               confirm_warmup=60, confirm_measure=120,
                               min_survivors=7))
+
+
+def tiny_power():
+    """The power preset at the same test-sized windows/mix: its
+    simulation tasks must be byte-identical to ``tiny_figure2``'s."""
+    return dataclasses.replace(tiny_figure2(), name="power",
+                               tech_nodes=power().tech_nodes)
 
 
 class TestBitIdenticalAcrossJobsAndCache:
@@ -84,9 +91,10 @@ class TestBitIdenticalAcrossJobsAndCache:
 
         written = result.write_artifacts(tmp_path / "out")
         assert sorted(written) == ["candidates.csv", "exploration.json",
-                                   "frontier.csv", "host.json"]
+                                   "frontier.csv", "host.json",
+                                   "tech_nodes.csv"]
         payload = json.loads(written["exploration.json"].read_text())
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert ExplorationResult.from_json(payload).to_json() \
             == result.to_json()
         header = written["candidates.csv"].read_text().splitlines()[0]
@@ -95,10 +103,61 @@ class TestBitIdenticalAcrossJobsAndCache:
         assert len(body) == len(result.candidates)
         frontier_rows = written["frontier.csv"].read_text().splitlines()[1:]
         assert len(frontier_rows) == len(result.frontier)
+        node_header = written["tech_nodes.csv"].read_text().splitlines()[0]
+        assert node_header == ",".join(NODE_CSV_COLUMNS)
+
+    def test_old_two_objective_artifacts_still_readable(self, tmp_path):
+        # A schema-1 artifact (pre-power) must load with the power
+        # fields defaulting to "not computed".
+        result = explore(tiny_figure2(), jobs=1,
+                         cache=str(tmp_path / "cache"))
+        legacy = result.to_json()
+        legacy["schema"] = 1
+        for key in ("tech_nodes", "frontier3d"):
+            del legacy[key]
+        for candidate in legacy["candidates"]:
+            for key in ("noc_power_w", "ipc_per_watt", "power_by_node",
+                        "on_frontier3d", "dominated_by_3d"):
+                del candidate[key]
+        loaded = ExplorationResult.from_json(
+            json.loads(json.dumps(legacy)))
+        assert loaded.tech_nodes == [65]
+        assert loaded.frontier3d == []
+        assert loaded.ranking == result.ranking
+        assert loaded.frontier == result.frontier
+        for old, new in zip(loaded.candidates, result.candidates):
+            assert old.noc_power_w is None
+            assert old.power_by_node is None
+            assert old.hm_ipc == new.hm_ipc
+            assert old.on_frontier == new.on_frontier
 
     def test_unknown_schema_rejected(self):
         with pytest.raises(ValueError, match="schema"):
             ExplorationResult.from_json({"schema": 99})
+
+    def test_power_projection_bit_identical_to_figure2(self, tmp_path):
+        # The power preset runs byte-identical simulation tasks, so its
+        # (IPC, mm²) numbers, 2-D frontier and ranking match figure2
+        # exactly — and its tasks hit figure2's cache entries.
+        cache = str(tmp_path / "cache")
+        base = explore(tiny_figure2(), jobs=1, cache=cache)
+        collector = ReportCollector()
+        swept = explore(tiny_power(), jobs=1, cache=cache,
+                        progress=collector)
+        assert collector.executed == 0          # every task cache-shared
+        assert swept.tech_nodes == [65, 45, 32, 22]
+        assert swept.ranking == base.ranking
+        assert swept.frontier == base.frontier
+        assert set(swept.frontier) <= set(swept.frontier3d)
+        for b, s in zip(base.candidates, swept.candidates):
+            assert s.hm_ipc == b.hm_ipc         # bit-identical, not approx
+            assert s.noc_area_mm2 == b.noc_area_mm2
+            assert s.noc_power_w == b.noc_power_w   # 65 nm base matches
+            assert len(s.power_by_node) == 4
+            # Smaller nodes must improve IPC/W monotonically (frequency
+            # rises while dynamic and leakage both shrink).
+            ipws = [r["ipc_per_watt"] for r in s.power_by_node]
+            assert ipws == sorted(ipws)
 
 
 class TestFigure2FullOrdering:
@@ -117,3 +176,30 @@ class TestFigure2FullOrdering:
         # small-area/high-IPC points survive; plain meshes are dominated
         assert "Throughput-Effective" in result.frontier
         assert "TB-DOR" not in result.frontier
+
+
+class TestPowerPresetFullSweep:
+    def test_power_preset_projects_onto_figure2(self, tmp_path):
+        # Acceptance: `--preset power` shares figure2's tasks exactly
+        # (free on the cache the figure2 test warmed) and its (IPC, mm²)
+        # projection is bit-identical at the 65 nm base node.
+        base = explore(figure2(), jobs=1, cache=True)
+        result = explore(power(), jobs=1, cache=True)
+        assert result.ranking == FIGURE2_ORDERING
+        assert result.frontier == base.frontier
+        assert result.tech_nodes == [65, 45, 32, 22]
+        for b, s in zip(base.candidates, result.candidates):
+            assert s.hm_ipc == b.hm_ipc
+            assert s.noc_area_mm2 == b.noc_area_mm2
+        # The throughput-effective checkerboard design leads the IPC/W
+        # ordering at every swept node (the sweep only widens its lead:
+        # leakage shrinks faster than the plain mesh's dynamic share).
+        rows = result._node_rows()
+        leaders = {row["tech_nm"]: row["name"] for row in rows
+                   if row["rank_at_node"] == 1}
+        assert len(leaders) >= 3
+        assert set(leaders.values()) == {"Throughput-Effective"}
+        # ... and it is on the 3-D frontier with the frontier a superset
+        # of the 2-D one.
+        assert "Throughput-Effective" in result.frontier3d
+        assert set(result.frontier) <= set(result.frontier3d)

@@ -109,3 +109,71 @@ class TestFrontierDeterminism:
         points = [ParetoPoint("a", 1.0, 1.0), ParetoPoint("a", 2.0, 2.0)]
         with pytest.raises(ValueError, match="duplicate point names"):
             pareto_frontier(points)
+
+
+# -- three objectives ---------------------------------------------------------
+
+from repro.dse import ParetoPoint3, dominates3, pareto_frontier3  # noqa: E402
+
+
+@st.composite
+def point_sets3(draw, max_size=12):
+    n = draw(st.integers(min_value=0, max_value=max_size))
+    return [ParetoPoint3(f"p{i}", draw(objective), draw(objective),
+                         draw(objective))
+            for i in range(n)]
+
+
+class TestFrontier3Properties:
+    @given(point_sets3())
+    @settings(max_examples=60, deadline=None)
+    def test_partition_and_dominance(self, points):
+        result = pareto_frontier3(points)
+        frontier = set(result.frontier)
+        assert frontier | set(result.dominated_by) == {p.name
+                                                       for p in points}
+        assert frontier.isdisjoint(result.dominated_by)
+        by_name = {p.name: p for p in points}
+        for member in frontier:
+            assert not any(dominates3(other, by_name[member])
+                           for other in points)
+        for name, dominator in result.dominated_by.items():
+            assert dominator in frontier
+            assert dominates3(by_name[dominator], by_name[name])
+
+    @given(point_sets3())
+    @settings(max_examples=60, deadline=None)
+    def test_order_independent(self, points):
+        result = pareto_frontier3(points)
+        assert pareto_frontier3(list(reversed(points))) == result
+
+    @given(point_sets3())
+    @settings(max_examples=60, deadline=None)
+    def test_2d_frontier_members_stay_non_dominated(self, points):
+        # Adding an objective can only *add* frontier members: any point
+        # on the (IPC, area) frontier is still non-dominated in 3-D.
+        flat = pareto_frontier([ParetoPoint(p.name, p.ipc, p.area)
+                                for p in points])
+        cube = pareto_frontier3(points)
+        # A 2-D frontier member may be 3-D-dominated only by a point
+        # with identical (ipc, area) and strictly lower watts; rule
+        # those ties out to get the strict superset property.
+        by_name = {p.name: p for p in points}
+        distinct = {(p.ipc, p.area) for p in points}
+        if len(distinct) == len(points):
+            assert set(flat.frontier) <= set(cube.frontier), by_name
+
+    def test_watts_objective_adds_members(self):
+        points = [ParetoPoint3("fast", 3.0, 3.0, 3.0),
+                  ParetoPoint3("frugal", 2.0, 3.0, 1.0)]
+        flat = pareto_frontier([ParetoPoint(p.name, p.ipc, p.area)
+                                for p in points])
+        cube = pareto_frontier3(points)
+        assert flat.frontier == ("fast",)
+        assert cube.frontier == ("fast", "frugal")
+
+    def test_duplicate_names_rejected(self):
+        points = [ParetoPoint3("a", 1.0, 1.0, 1.0),
+                  ParetoPoint3("a", 2.0, 2.0, 2.0)]
+        with pytest.raises(ValueError, match="duplicate point names"):
+            pareto_frontier3(points)

@@ -116,3 +116,41 @@ class TestResultCacheStore:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
         assert as_cache(True).root == tmp_path / "env"
         assert default_cache_dir() == tmp_path / "env"
+
+
+class TestPayloadSchemaVersioning:
+    """The cache key embeds the result-payload schema, so entries written
+    by older code (older payload layouts) are never served — they simply
+    miss and the task re-executes under the new key."""
+
+    @staticmethod
+    def task():
+        return SimTask(kind="closed", label="x", seed=1, warmup=20,
+                       measure=40, design=BASELINE, profile=PROF)
+
+    @staticmethod
+    def spec(schema):
+        from repro.system.config import paper_config
+        return {"schema": schema, "kind": "closed", "seed": 1,
+                "warmup": 20, "measure": 40, "design": BASELINE,
+                "profile": PROF, "config": paper_config(),
+                "pattern": None, "rate": None}
+
+    def test_current_schema_is_pinned(self):
+        # 3 = per-component activity counters for the power model; bump
+        # this spec (and the constant in SimTask.cache_key) together.
+        from repro.parallel import stable_key
+        assert self.task().cache_key() == stable_key(self.spec(3))
+
+    def test_stale_schema_entry_reexecutes(self, tmp_path):
+        from repro.parallel import run_tasks, stable_key
+        task = self.task()
+        old_key = stable_key(self.spec(2))     # pre-power payload layout
+        assert old_key != task.cache_key()
+        store = ResultCache(tmp_path)
+        store.put(old_key, {"result": {"stale": True}})
+        executed, payloads = executed_by(
+            lambda: run_tasks([task], cache=store))
+        assert executed == 1, "stale-schema entry must not be served"
+        assert payloads[0]["result"].get("stale") is None
+        assert store.get(task.cache_key()) is not None

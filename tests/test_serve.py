@@ -136,6 +136,10 @@ class TestValidation:
         with pytest.raises(JobSpecError, match="unknown preset"):
             validate_job({"kind": "explore", "preset": "smokey"})
 
+    def test_power_preset_accepted(self):
+        spec = validate_job({"kind": "explore", "preset": "power"})
+        assert spec["preset"] == "power"
+
     def test_defaults_match_library_defaults(self):
         # An unadorned submission must equal an unadorned direct call;
         # these literals pin the library signatures' defaults.
@@ -235,6 +239,20 @@ class TestServedExploreBitIdentity:
                 direct = explore_preset("smoke", cache=cache).to_json()
                 assert json.dumps(cold["exploration"], sort_keys=True) \
                     == json.dumps(direct, sort_keys=True)
+                # The power fields ride through the server bit-identical;
+                # name them explicitly so a regression is named, not just
+                # a json.dumps mismatch.
+                served = cold["exploration"]
+                assert served["tech_nodes"] == direct["tech_nodes"]
+                assert served["frontier3d"] == direct["frontier3d"]
+                for got, want in zip(served["candidates"],
+                                     direct["candidates"]):
+                    for key in ("noc_power_w", "ipc_per_watt",
+                                "power_by_node", "on_frontier3d",
+                                "dominated_by_3d"):
+                        assert got[key] == want[key]
+                    if got["hm_ipc"] is not None:
+                        assert got["noc_power_w"] is not None
                 warm = client.submit({"kind": "explore",
                                       "preset": "smoke"},
                                      events=(events := []))

@@ -84,6 +84,11 @@ def _stats_snapshot(system):
             "offered": (s.packets_offered, s.flits_offered),
             "injected": (s.packets_injected, s.flits_injected),
             "ejected": (s.packets_ejected, s.flits_ejected),
+            # the power model's always-on activity counters are part of
+            # the bit-identity contract: every stepper must count every
+            # crossbar grant, buffer access and link delivery identically
+            "activity": (s.crossbar_traversals, s.buffer_reads,
+                         s.buffer_writes, s.link_flit_hops),
             "accepted_rate": s.accepted_flit_rate(),
             "per_class": {
                 tclass.name: (cs.packets, cs.flits, cs.latency_sum,
