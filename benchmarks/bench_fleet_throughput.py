@@ -1,0 +1,238 @@
+"""Fleet stepper throughput: lockstep/batched planning vs the default
+event core, on the two task shapes the fleet layer exists for.
+
+Times ``repro.parallel.run_tasks`` end to end — build, simulate,
+serialize — over pinned task batches with fleeting off (``fleet=1``,
+every point on the construction-default event core) and on
+(``fleet=4``), and writes ``benchmarks/results/BENCH_fleet.json``:
+
+* ``dse_screen`` — a DSE screen cohort: one saturated open-loop point
+  (rate 0.35, the ``FidelityLadder`` default) per candidate.  Above
+  ``FLEET_LOCKSTEP_MAX_RATE`` the planner runs these solo on the batched
+  core, so this measures the adaptive-policy win at high load.
+* ``sweep_ladder`` — a load-latency sweep ladder: low-rate points across
+  designs and seeds.  These pack into lockstep fleets sharing one
+  vectorized screen per cycle, the regime where per-cycle fixed cost
+  dominates.
+
+Floors are set from measured, robustly-reproducible speedups on the
+development machine; the original optimisation targets (3x on the
+screen, 2x on the sweep) are recorded in the JSON as ``target`` for
+tracking but are *not* enforced — profiling shows the vectorizable
+screen is only ~2-5% of cycle time at these workload sizes, so Amdahl
+caps the achievable ratio well below the targets (measurements and
+breakdown in DESIGN.md §18).
+
+Fleeting must also change no result bit (the contract pinned by
+``tests/test_stepper_equivalence.py`` and ``tests/test_fleet.py``), so
+the bench doubles as a determinism canary: both modes' payloads are
+compared field for field every round.  Host timing is noisy, so modes
+run ``REPRO_BENCH_REPS`` interleaved rounds (default 3) plus up to
+``REPRO_BENCH_EXTRA_REPS`` retry rounds when a floor lands short, and
+per-mode minima are compared.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from common import RESULTS_DIR, SEED, once, report
+from repro.core.builder import design_by_name
+from repro.experiments import open_loop_task
+from repro.parallel import run_tasks
+
+BENCH_SCHEMA = 1
+REPS = max(1, int(os.environ.get("REPRO_BENCH_REPS", "3")))
+EXTRA_REPS = max(0, int(os.environ.get("REPRO_BENCH_EXTRA_REPS", "4")))
+
+#: ``default`` first so every later mode compares against a same-round
+#: baseline sample.
+MODES = ("default", "fleet")
+FLEET_SIZE = 4
+
+#: The original optimisation targets from the fleet-stepper issue —
+#: recorded in the JSON for tracking, not enforced (see module
+#: docstring).
+TARGETS = {"dse_screen": 3.0, "sweep_ladder": 2.0}
+
+# DSE screen shape: the FidelityLadder's saturated screen point per
+# candidate, here over a pinned candidate set (designs x seeds).
+SCREEN_DESIGNS = ("TB-DOR", "CP-CR-4VC", "Double-CP-CR")
+SCREEN_RATE = 0.35
+SCREEN_WARMUP, SCREEN_MEASURE = 300, 600
+SCREEN_SEEDS = (0, 1)
+SCREEN_FLOORS = {"fleet": 1.05}
+
+# Sweep ladder shape: the low-load rungs of a load-latency sweep.
+LADDER_DESIGNS = ("TB-DOR", "Double-CP-CR")
+LADDER_RATES = (0.005, 0.02, 0.04, 0.06)
+LADDER_WARMUP, LADDER_MEASURE = 400, 2000
+LADDER_FLOORS = {"fleet": 1.15}
+
+
+def _screen_tasks():
+    return [
+        open_loop_task(design_by_name(name), None, "uniform", SCREEN_RATE,
+                       base_seed=SEED + s, warmup=SCREEN_WARMUP,
+                       measure=SCREEN_MEASURE)
+        for name in SCREEN_DESIGNS for s in SCREEN_SEEDS
+    ]
+
+
+def _ladder_tasks():
+    return [
+        open_loop_task(design_by_name(name), None, "uniform", rate,
+                       base_seed=SEED, warmup=LADDER_WARMUP,
+                       measure=LADDER_MEASURE)
+        for name in LADDER_DESIGNS for rate in LADDER_RATES
+    ]
+
+
+def _patched_tasks(tasks):
+    """Attach the pattern factory (kept out of the builders above so the
+    task lists stay import-order stable)."""
+    import dataclasses
+
+    from repro.noc.traffic import UniformManyToFew
+    return [dataclasses.replace(t, pattern_factory=UniformManyToFew)
+            for t in tasks]
+
+
+def _run_batch(make_tasks, mode: str):
+    tasks = _patched_tasks(make_tasks())
+    start = time.perf_counter()
+    payloads = run_tasks(tasks, jobs=1,
+                         fleet=FLEET_SIZE if mode == "fleet" else 1)
+    seconds = time.perf_counter() - start
+    results = [p["result"] for p in payloads]
+    cycles = sum(r["cycles"] for r in results)
+    flits = sum(r["flits_ejected"] for r in results)
+    return seconds, cycles, flits, results
+
+
+def _measure(name: str, make_tasks, floors):
+    """Interleave ``REPS`` rounds over both modes; compare per-mode
+    minima against the default-mode minimum, with retry rounds when a
+    floor lands short.  Every rep of every mode must produce the same
+    result payloads, and fleet payloads must equal default payloads
+    field for field."""
+    best = {}
+    payloads = {}
+
+    def one_round():
+        for mode in MODES:
+            seconds, cycles, flits, results = _run_batch(make_tasks, mode)
+            if mode not in best or seconds < best[mode][0]:
+                best[mode] = (seconds, cycles, flits)
+            expected = payloads.setdefault(mode, results)
+            if results != expected:
+                raise AssertionError(
+                    f"{name}: {mode} mode is not deterministic across "
+                    "repetitions")
+
+    def floors_met():
+        base = best["default"][0]
+        return all(base / best[mode][0] >= floor
+                   for mode, floor in floors.items())
+
+    reps = REPS
+    for _ in range(REPS):
+        one_round()
+    for _ in range(EXTRA_REPS):
+        if floors_met():
+            break
+        one_round()
+        reps += 1
+    if payloads["fleet"] != payloads["default"]:
+        raise AssertionError(
+            f"{name}: fleet-mode results differ from fleet-disabled "
+            "results — the bit-identity contract is broken")
+
+    def stats(mode):
+        seconds, cycles, flits = best[mode]
+        return {
+            "best_seconds": round(seconds, 4),
+            "cycles": cycles,
+            "flits_ejected": flits,
+            "cycles_per_second": round(cycles / seconds, 1),
+            "flits_per_second": round(flits / seconds, 1),
+        }
+
+    base_seconds = best["default"][0]
+    speedup = round(base_seconds / best["fleet"][0], 3)
+    entry = {
+        "reps": reps,
+        "fleet_size": FLEET_SIZE,
+        "modes": {mode: stats(mode) for mode in MODES},
+        "speedup": {"fleet": speedup},
+        "floors": floors,
+        "target": TARGETS[name],
+        "target_met": speedup >= TARGETS[name],
+        "identical": True,
+    }
+    for mode, floor in floors.items():
+        if entry["speedup"][mode] < floor:
+            raise AssertionError(
+                f"{name}: fleet speedup {entry['speedup'][mode]}x is "
+                f"below the {floor}x floor (default {base_seconds}s vs "
+                f"{mode} {best[mode][0]}s over {reps} interleaved "
+                "rounds)")
+    return entry
+
+
+def _experiment():
+    configs = {
+        "dse_screen": _measure("dse_screen", _screen_tasks, SCREEN_FLOORS),
+        "sweep_ladder": _measure("sweep_ladder", _ladder_tasks,
+                                 LADDER_FLOORS),
+    }
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "reps": REPS,
+        "fleet_size": FLEET_SIZE,
+        "workloads": {
+            "dse_screen": {
+                "designs": list(SCREEN_DESIGNS), "rate": SCREEN_RATE,
+                "seeds": len(SCREEN_SEEDS),
+                "warmup": SCREEN_WARMUP, "measure": SCREEN_MEASURE,
+            },
+            "sweep_ladder": {
+                "designs": list(LADDER_DESIGNS),
+                "rates": list(LADDER_RATES),
+                "warmup": LADDER_WARMUP, "measure": LADDER_MEASURE,
+            },
+        },
+        "configs": configs,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_fleet.json"
+    out.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+
+    rows = [
+        f"{'config':14s} {'default s':>10s} {'fleet s':>8s} "
+        f"{'speedup':>8s} {'floor':>6s} {'target':>7s}",
+    ]
+    for name, entry in configs.items():
+        rows.append(
+            f"{name:14s} {entry['modes']['default']['best_seconds']:10.2f} "
+            f"{entry['modes']['fleet']['best_seconds']:8.2f} "
+            f"{entry['speedup']['fleet']:7.2f}x "
+            f"{entry['floors']['fleet']:5.2f}x "
+            f"{entry['target']:6.1f}x")
+    rows.append(
+        f"(min over {REPS}+ interleaved rounds; fleet={FLEET_SIZE}; both "
+        "modes bit-identical; targets informational — see DESIGN.md §18 "
+        "for the measured Amdahl ceiling; details in "
+        "results/BENCH_fleet.json)")
+    return rows
+
+
+def test_fleet_throughput(benchmark):
+    report("fleet_throughput", once(benchmark, _experiment))
+
+
+if __name__ == "__main__":
+    # Plain-script entry for CI (no pytest-benchmark dependency).
+    report("fleet_throughput", _experiment())

@@ -31,13 +31,15 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..area.chip import design_chip_area_mm2, design_noc_area
 from ..experiments import closed_task, open_loop_task
 from ..noc.traffic import UniformManyToFew
-from ..parallel import ReportCollector, run_tasks
+from ..parallel import (ReportCollector, resolve_fleet, resolve_jobs,
+                        run_tasks)
 from ..power import ActivityCounts, design_power, tech_node
 from ..system.accelerator import SimulationResult
 from ..system.metrics import harmonic_mean
@@ -166,7 +168,8 @@ def _merged_activity(runs: Sequence[SimulationResult]) -> ActivityCounts:
 
 def explore_preset(name: str, seed: Optional[int] = None,
                    jobs: Optional[int] = None, cache=None,
-                   progress=None) -> ExplorationResult:
+                   progress=None,
+                   fleet: Optional[int] = None) -> ExplorationResult:
     """Run a named preset exploration (``figure2``/``smoke``/...).
 
     The single submission entry point shared by ``repro explore`` and the
@@ -180,20 +183,28 @@ def explore_preset(name: str, seed: Optional[int] = None,
     spec = preset(name)
     if seed is not None:
         spec = dataclasses.replace(spec, seed=seed)
-    return explore(spec, jobs=jobs, cache=cache, progress=progress)
+    return explore(spec, jobs=jobs, cache=cache, progress=progress,
+                   fleet=fleet)
 
 
 def explore(spec: ExplorationSpec, jobs: Optional[int] = None,
-            cache=None, progress=None) -> ExplorationResult:
+            cache=None, progress=None,
+            fleet: Optional[int] = None) -> ExplorationResult:
     """Run ``spec`` and return the ranked, Pareto-annotated result.
 
     ``jobs``/``cache``/``progress`` pass straight to
-    :func:`repro.parallel.run_tasks` for every stage.  The returned
-    result's ``host`` field carries wall-clock, per-stage tallies and
-    cache-hit rates; everything else is bit-identical across hosts, jobs
-    counts and cache states.
+    :func:`repro.parallel.run_tasks` for every stage, which with
+    ``jobs=N`` share one process pool across the whole ladder (workers
+    warm up once, not once per stage).  ``fleet`` enables lockstep
+    multi-simulation batching of compatible open-loop tasks (DESIGN.md
+    §18); results are bit-identical either way.  The returned result's
+    ``host`` field carries wall-clock, per-stage tallies and cache-hit
+    rates; everything else is bit-identical across hosts, jobs counts,
+    fleet widths and cache states.
     """
     ladder = spec.ladder
+    jobs = resolve_jobs(jobs)
+    fleet = resolve_fleet(fleet)
     fixed = spec.seed_policy == "fixed"
     profiler = HostProfiler()
     stage_reports: List[StageReport] = []
@@ -216,6 +227,12 @@ def explore(spec: ExplorationSpec, jobs: Optional[int] = None,
         history[name] = []
     survivors: List[Candidate] = list(candidates)
 
+    # One process pool serves every ladder stage (screen → halving →
+    # confirm): workers warm up once, and the fail-fast
+    # cancel-then-harvest contract inside run_tasks still applies per
+    # stage because each call owns only its own futures.
+    pool = ProcessPoolExecutor(max_workers=jobs) if jobs > 1 else None
+
     def run_stage(stage: str, tasks, collect) -> None:
         """Run one stage's tasks, apply ``collect(payloads)`` → metric
         dicts, record outcomes and cut the survivor list."""
@@ -223,7 +240,8 @@ def explore(spec: ExplorationSpec, jobs: Optional[int] = None,
         collector = ReportCollector(chain=progress)
         with profiler.section(stage):
             payloads = run_tasks(tasks, jobs=jobs, cache=cache,
-                                 progress=collector)
+                                 progress=collector, fleet=fleet,
+                                 pool=pool)
             metrics, hm_ipc, keep = collect(payloads)
             outcomes = _rank_stage(stage, metrics, keep, hm_ipc)
         for name, outcome in outcomes.items():
@@ -234,86 +252,90 @@ def explore(spec: ExplorationSpec, jobs: Optional[int] = None,
             tasks=collector.total, executed=collector.executed,
             cached=collector.cached, seconds=collector.seconds))
 
-    # -- stage 1: open-loop saturation-throughput screen ---------------------
-    if ladder.screen and len(survivors) > ladder.min_survivors:
-        cohort = list(survivors)
-        tasks = [
-            open_loop_task(c.design, UniformManyToFew, "uniform",
-                           ladder.screen_rate, base_seed=spec.seed,
-                           warmup=ladder.screen_warmup,
-                           measure=ladder.screen_measure,
-                           config=c.chip_config(), fixed_seed=fixed)
-            for c in cohort
-        ]
+    try:
+        # -- stage 1: open-loop saturation-throughput screen -----------------
+        if ladder.screen and len(survivors) > ladder.min_survivors:
+            cohort = list(survivors)
+            tasks = [
+                open_loop_task(c.design, UniformManyToFew, "uniform",
+                               ladder.screen_rate, base_seed=spec.seed,
+                               warmup=ladder.screen_warmup,
+                               measure=ladder.screen_measure,
+                               config=c.chip_config(), fixed_seed=fixed)
+                for c in cohort
+            ]
 
-        def collect_screen(payloads):
-            metrics = {}
-            for c, payload in zip(cohort, payloads):
-                accepted = payload["result"]["accepted_flits_per_cycle"]
-                # Throughput-effectiveness proxy: accepted NoC
-                # throughput per chip mm² (no IPC yet at this fidelity).
-                metrics[c.name] = accepted / chip_area[c.name]
-            keep = _keep_count(
-                len(cohort),
-                math.ceil(len(cohort) * ladder.screen_keep),
-                ladder.min_survivors)
-            return metrics, None, keep
+            def collect_screen(payloads):
+                metrics = {}
+                for c, payload in zip(cohort, payloads):
+                    accepted = payload["result"]["accepted_flits_per_cycle"]
+                    # Throughput-effectiveness proxy: accepted NoC
+                    # throughput per chip mm² (no IPC yet at this fidelity).
+                    metrics[c.name] = accepted / chip_area[c.name]
+                keep = _keep_count(
+                    len(cohort),
+                    math.ceil(len(cohort) * ladder.screen_keep),
+                    ladder.min_survivors)
+                return metrics, None, keep
 
-        run_stage("screen", tasks, collect_screen)
+            run_stage("screen", tasks, collect_screen)
 
-    # -- stage 2: successive-halving closed-loop rounds ----------------------
-    for round_index in range(ladder.halving_rounds):
-        if len(survivors) <= ladder.min_survivors:
-            break
-        scale = 2 ** round_index
-        cohort = list(survivors)
-        mix = spec.round_mix or spec.mix
-        tasks = [
-            closed_task(c.design, profile(abbr), base_seed=spec.seed,
-                        warmup=ladder.round_warmup * scale,
-                        measure=ladder.round_measure * scale,
-                        config=c.chip_config(), fixed_seed=fixed)
-            for c in cohort for abbr in mix
-        ]
+        # -- stage 2: successive-halving closed-loop rounds ------------------
+        for round_index in range(ladder.halving_rounds):
+            if len(survivors) <= ladder.min_survivors:
+                break
+            scale = 2 ** round_index
+            cohort = list(survivors)
+            mix = spec.round_mix or spec.mix
+            tasks = [
+                closed_task(c.design, profile(abbr), base_seed=spec.seed,
+                            warmup=ladder.round_warmup * scale,
+                            measure=ladder.round_measure * scale,
+                            config=c.chip_config(), fixed_seed=fixed)
+                for c in cohort for abbr in mix
+            ]
 
-        def collect_round(payloads, cohort=cohort, mix=mix):
-            metrics, hm_ipc = {}, {}
-            it = iter(payloads)
-            for c in cohort:
-                runs = [SimulationResult.from_json(next(it)["result"])
-                        for _ in mix]
-                closed_results[c.name] = runs
-                hm_ipc[c.name] = harmonic_mean([r.ipc for r in runs])
-                metrics[c.name] = hm_ipc[c.name] / chip_area[c.name]
-            keep = _keep_count(len(cohort), math.ceil(len(cohort) / 2),
-                               ladder.min_survivors)
-            return metrics, hm_ipc, keep
+            def collect_round(payloads, cohort=cohort, mix=mix):
+                metrics, hm_ipc = {}, {}
+                it = iter(payloads)
+                for c in cohort:
+                    runs = [SimulationResult.from_json(next(it)["result"])
+                            for _ in mix]
+                    closed_results[c.name] = runs
+                    hm_ipc[c.name] = harmonic_mean([r.ipc for r in runs])
+                    metrics[c.name] = hm_ipc[c.name] / chip_area[c.name]
+                keep = _keep_count(len(cohort), math.ceil(len(cohort) / 2),
+                                   ladder.min_survivors)
+                return metrics, hm_ipc, keep
 
-        run_stage(f"round{round_index + 1}", tasks, collect_round)
+            run_stage(f"round{round_index + 1}", tasks, collect_round)
 
-    # -- stage 3: confirm finalists on the full mix --------------------------
-    if survivors:
-        cohort = list(survivors)
-        tasks = [
-            closed_task(c.design, profile(abbr), base_seed=spec.seed,
-                        warmup=ladder.confirm_warmup,
-                        measure=ladder.confirm_measure,
-                        config=c.chip_config(), fixed_seed=fixed)
-            for c in cohort for abbr in spec.mix
-        ]
+        # -- stage 3: confirm finalists on the full mix ----------------------
+        if survivors:
+            cohort = list(survivors)
+            tasks = [
+                closed_task(c.design, profile(abbr), base_seed=spec.seed,
+                            warmup=ladder.confirm_warmup,
+                            measure=ladder.confirm_measure,
+                            config=c.chip_config(), fixed_seed=fixed)
+                for c in cohort for abbr in spec.mix
+            ]
 
-        def collect_confirm(payloads, cohort=cohort):
-            metrics, hm_ipc = {}, {}
-            it = iter(payloads)
-            for c in cohort:
-                runs = [SimulationResult.from_json(next(it)["result"])
-                        for _ in spec.mix]
-                closed_results[c.name] = runs
-                hm_ipc[c.name] = harmonic_mean([r.ipc for r in runs])
-                metrics[c.name] = hm_ipc[c.name] / chip_area[c.name]
-            return metrics, hm_ipc, len(cohort)   # confirm cuts nobody
+            def collect_confirm(payloads, cohort=cohort):
+                metrics, hm_ipc = {}, {}
+                it = iter(payloads)
+                for c in cohort:
+                    runs = [SimulationResult.from_json(next(it)["result"])
+                            for _ in spec.mix]
+                    closed_results[c.name] = runs
+                    hm_ipc[c.name] = harmonic_mean([r.ipc for r in runs])
+                    metrics[c.name] = hm_ipc[c.name] / chip_area[c.name]
+                return metrics, hm_ipc, len(cohort)   # confirm cuts nobody
 
-        run_stage("confirm", tasks, collect_confirm)
+            run_stage("confirm", tasks, collect_confirm)
+    finally:
+        if pool is not None:
+            pool.shutdown()
 
     # -- rank, frontier, result ----------------------------------------------
     with profiler.section("rank"):

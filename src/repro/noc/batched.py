@@ -213,7 +213,14 @@ class BatchedCore:
         idx = np.flatnonzero(self._cand)
         if not idx.size:
             return
-        cells = idx.tolist()
+        self.process_cells(now, idx.tolist())
+
+    def process_cells(self, now: int, cells: List[int]) -> None:
+        """Grant pass over a non-empty, ascending candidate cell list.
+
+        Split from :meth:`sweep` so a fleet screen over many networks can
+        dispatch each member's slice of one global candidate vector here
+        (cell indices are member-local either way)."""
         cell_router = self.cell_router
         cell_info = self.cell_info
         rinfo = self._rinfo

@@ -1,0 +1,213 @@
+"""Fleet stepper: lockstep multi-simulation batching (DESIGN.md §18).
+
+The batched SoA core (``repro.noc.batched``) vectorizes the per-cycle
+screen *within* one network, but a sweep or DSE screen stage runs
+hundreds of small independent simulations and each one still pays the
+fixed per-cycle interpreter cost alone: four numpy ufunc dispatches, a
+``flatnonzero``, and the surrounding Python frames.  On the small meshes
+the paper's figures are built from, that fixed cost rivals the useful
+per-cell work.
+
+:class:`FleetCore` amortizes it B ways.  It adopts the state arrays of B
+member networks into one concatenated buffer — member cores keep numpy
+*views* into the fleet buffer, so the router-side mirror writes
+(``router._soa``) land in shared state with no copying — and steps the
+whole fleet in lockstep: one global ``(head_ready <= now) & (va_ok |
+(va_need & ~va_blocked))`` screen over every cell of every member, one
+``flatnonzero``, then each member's slice of the candidate vector is
+dispatched to its own :meth:`BatchedCore.process_cells` grant pass.
+
+Per-member results are **bit-identical** to solo runs (pinned by the
+four-way matrix in ``tests/test_stepper_equivalence.py``): members share
+no mutable state, and within a member the fleet phase order differs from
+the solo order only by hoisting channel delivery ahead of the screen —
+channel delivery touches only its own slice's cells and draws no RNG, so
+every cell's screen inputs and every RNG draw keep their solo order.
+The invariant checker, tracer and deadlock watchdog run per member,
+unchanged.
+
+Lockstep requires equal (warmup, measure) windows and freshly built
+(cycle-0) members; :class:`FleetRunner` enforces this, and the packing
+pass in ``repro.parallel.run_tasks`` only fleets tasks whose windows and
+topology shape agree (seed, rate, pattern and design may differ).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .openloop import LoadLatencyPoint, OpenLoopRunner
+
+
+class FleetCore:
+    """One concatenated SoA state pool over the slices of B member systems.
+
+    ``systems`` are :class:`repro.core.builder.NetworkSystem` instances
+    whose slices all run the batched stepper.  Construction re-points each
+    member :class:`BatchedCore`'s four state arrays at views of the fleet
+    buffer; the member cores stay fully functional solo (their private
+    ``_elig``/``_cand`` scratch is untouched), which keeps drain steps and
+    post-fleet use working.
+    """
+
+    def __init__(self, systems: Sequence) -> None:
+        self.systems = list(systems)
+        nets = [net for system in self.systems for net in system.networks]
+        cores = []
+        for net in nets:
+            core = net._batched
+            if core is None:
+                raise ValueError(
+                    f"fleet members must run the batched stepper; "
+                    f"network {net.name!r} runs {net.stepper_backend!r}")
+            cores.append(core)
+        self.nets = nets
+        self.cores = cores
+        sizes = [core.num_cells for core in cores]
+        total = sum(sizes)
+        self.num_cells = total
+        #: First fleet-cell index of each member slice, and the exclusive
+        #: end bounds (ascending) used to split the global candidate
+        #: vector per slice.
+        self.offsets: List[int] = []
+        bounds: List[int] = []
+        off = 0
+        for n in sizes:
+            self.offsets.append(off)
+            off += n
+            bounds.append(off)
+        self.bounds = np.asarray(bounds, dtype=np.int64)
+        self.head_ready = np.empty(total, dtype=np.int64)
+        self.va_ok = np.empty(total, dtype=bool)
+        self.va_need = np.empty(total, dtype=bool)
+        self.va_blocked = np.empty(total, dtype=bool)
+        self._elig = np.empty(total, dtype=bool)
+        self._cand = np.empty(total, dtype=bool)
+        for k, core in enumerate(cores):
+            lo, hi = self.offsets[k], bounds[k]
+            for name in ("head_ready", "va_ok", "va_need", "va_blocked"):
+                pool = getattr(self, name)
+                pool[lo:hi] = getattr(core, name)
+                # Basic slices are views: router mirror writes and the
+                # member core's own in-place updates land in the pool.
+                setattr(core, name, pool[lo:hi])
+
+    def step(self, now: int) -> None:
+        """Advance every member one cycle in lockstep.
+
+        Twin of the solo ``NetworkSystem.step`` -> ``_step_batched`` path;
+        per member the phase order is channel delivery, grant pass, source
+        drain, checker — identical to solo except that *all* slices'
+        channel phases run before the shared screen (see module docstring
+        for why that preserves bit-identity).
+        """
+        for system in self.systems:
+            system.cycle = now
+        nets = self.nets
+        for net in nets:
+            net.cycle = now
+            net.stats.cycles = now
+            # Inlined guard (the method re-checks): most low-rate cycles
+            # have nothing in flight, and the skipped call frames are the
+            # kind of fixed cost the fleet exists to shave.
+            if net._active_channels:
+                net._batched_channels(now)
+        np.less_equal(self.head_ready, now, out=self._elig)
+        np.greater(self.va_need, self.va_blocked, out=self._cand)
+        np.logical_or(self._cand, self.va_ok, out=self._cand)
+        np.logical_and(self._cand, self._elig, out=self._cand)
+        idx = np.flatnonzero(self._cand)
+        if idx.size:
+            splits = np.searchsorted(idx, self.bounds).tolist()
+            cores = self.cores
+            offsets = self.offsets
+            pos = 0
+            for k, net in enumerate(nets):
+                end = splits[k]
+                if end > pos:
+                    off = offsets[k]
+                    cells = (idx[pos:end].tolist() if off == 0
+                             else (idx[pos:end] - off).tolist())
+                    cores[k].process_cells(now, cells)
+                    pos = end
+                if net._source_flits:
+                    net._batched_sources(now)
+                checker = net.checker
+                if checker is not None:
+                    checker.on_cycle(now)
+        else:
+            for net in nets:
+                if net._source_flits:
+                    net._batched_sources(now)
+                checker = net.checker
+                if checker is not None:
+                    checker.on_cycle(now)
+
+    def detach(self) -> None:
+        """Give every member core back private copies of its state arrays
+        (the fleet buffer is dropped; members keep working solo either
+        way, this just cuts the shared-memory tie)."""
+        for core in self.cores:
+            for name in ("head_ready", "va_ok", "va_need", "va_blocked"):
+                setattr(core, name, getattr(core, name).copy())
+
+
+class FleetRunner:
+    """Drives B :class:`OpenLoopRunner` members in lockstep.
+
+    Members must be freshly built (cycle 0, nothing in flight), share the
+    same (warmup, measure) windows — enforced at :meth:`run` — and carry
+    no telemetry (the instrumented cycle body is solo-only; the packing
+    pass falls back to solo execution for telemetry tasks).  Any member
+    not already on the batched stepper is switched to it.
+    """
+
+    def __init__(self, runners: Sequence[OpenLoopRunner]) -> None:
+        if not runners:
+            raise ValueError("empty fleet")
+        for runner in runners:
+            if runner.telemetry is not None:
+                raise ValueError(
+                    "fleet members cannot carry telemetry; run solo")
+            if runner.network.cycle != 0:
+                raise ValueError(
+                    "fleet members must be freshly built (cycle 0)")
+        for runner in runners:
+            if runner.network.stepper_backend != "batched":
+                runner.network.use_batched_stepper()
+        self.runners = list(runners)
+        self.core = FleetCore([r.network for r in runners])
+
+    def run(self, warmup: int = 2_000, measure: int = 6_000,
+            drain: int = 0) -> List[LoadLatencyPoint]:
+        """Run all members through the shared clock; returns one
+        :class:`LoadLatencyPoint` per member, in member order,
+        bit-identical to ``member.run(warmup, measure, drain)`` solo."""
+        runners = self.runners
+        step = self.core.step
+        now = 0
+        for _ in range(warmup):
+            for runner in runners:
+                runner._inject_cycle(None)
+            now += 1
+            step(now)
+        for runner in runners:
+            runner._measuring = True
+            runner._measure_start = runner.network.cycle
+        for _ in range(measure):
+            for runner in runners:
+                runner._inject_cycle("measured")
+            now += 1
+            step(now)
+        for _ in range(drain):
+            # Members fall out of lockstep only here, at the very end;
+            # solo steps on the adopted views are still exact.
+            for runner in runners:
+                runner.network.step()
+        points = []
+        for runner in runners:
+            runner._final_audit()
+            points.append(runner._summarize(measure))
+        return points

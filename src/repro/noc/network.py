@@ -465,7 +465,20 @@ class MeshNetwork:
         vectorized sweep replaces the per-router phase, then sources
         drain.  Semantic changes must land in all three backends; the
         golden matrix in tests/test_stepper_equivalence.py compares them.
+
+        The channel and source phases are split out so the fleet stepper
+        (``repro.noc.fleet``) can interleave them with one global screen.
         """
+        self._batched_channels(now)
+        if self._buffered_flits:
+            self._batched.sweep(now)
+        self._batched_sources(now)
+        checker = self.checker
+        if checker is not None:
+            checker.on_cycle(now)
+
+    def _batched_channels(self, now: int) -> None:
+        """Channel-delivery phase of the batched cycle body."""
         if self._active_channels:
             scratch = self._channel_scratch
             for channel in self._active_channels:
@@ -480,8 +493,9 @@ class MeshNetwork:
                 for channel in scratch:
                     del self._active_channels[channel]
                 del scratch[:]
-        if self._buffered_flits:
-            self._batched.sweep(now)
+
+    def _batched_sources(self, now: int) -> None:
+        """Source-drain phase of the batched cycle body."""
         if self._source_flits:
             occ = self._source_occ
             stuck = self._source_stuck
@@ -502,9 +516,6 @@ class MeshNetwork:
                         # until a grant frees injection space or a fresh
                         # head packet arrives.
                         stuck[idx] = True
-        checker = self.checker
-        if checker is not None:
-            checker.on_cycle(now)
 
     def use_reference_stepper(self) -> None:
         """Switch to the exhaustive-scan stepper (debug/benchmark oracle).

@@ -1,0 +1,221 @@
+"""Fleet packing, run_tasks integration and failure attribution
+(DESIGN.md §18).
+
+The bit-identity of the fleet *core* against the other cycle-core
+backends is pinned in ``test_stepper_equivalence.py``; this module pins
+the harness around it: which tasks the planner may pack together, the
+``fleet=``/``REPRO_FLEET`` resolution contract, per-member progress
+reporting, and how a fleet failure is attributed back to the guilty
+member task.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.builder import design_by_name
+from repro.noc.fleet import FleetRunner
+from repro.noc.traffic import UniformManyToFew
+from repro.parallel import (FLEET_LOCKSTEP_MAX_RATE, FleetMemberFailure,
+                            SimTask, TaskError, _open_loop_runner,
+                            _plan_units, derive_seed, resolve_fleet,
+                            run_tasks)
+from repro.system.config import scaled_config
+from repro.telemetry import TelemetrySpec
+
+WARMUP, MEASURE = 60, 150
+
+
+def _task(rate, seed, design_name="TB-DOR", warmup=WARMUP, measure=MEASURE,
+          config=None, telemetry=None, kind="openloop", label=None):
+    design = design_by_name(design_name)
+    return SimTask(kind=kind,
+                   label=label or f"{design_name}-r{rate:g}-s{seed}",
+                   seed=derive_seed(seed, "fleet-test", design_name, rate),
+                   warmup=warmup, measure=measure, design=design,
+                   config=config, pattern_factory=UniformManyToFew,
+                   pattern_name="uniform", rate=rate, telemetry=telemetry)
+
+
+# -- planning --------------------------------------------------------------
+
+def test_plan_units_packing_rules():
+    """Only same-shape, same-window, telemetry-free open-loop tasks at
+    rates under the lockstep ceiling are fleeted; everything else runs
+    solo (batched for fast open-loop points, default backend otherwise).
+    """
+    low = FLEET_LOCKSTEP_MAX_RATE / 2
+    tasks = [
+        _task(low, 1),                                     # 0: fleetable
+        _task(low, 2),                                     # 1: fleetable
+        _task(low, 3, design_name="Double-CP-CR"),         # 2: same group
+        _task(0.35, 4),                                    # 3: too hot
+        _task(low, 5, warmup=WARMUP + 1),                  # 4: window differs
+        _task(low, 6, config=scaled_config(91, 9, 10, 10)),  # 5: other mesh
+        _task(low, 7, telemetry=TelemetrySpec(trace=True)),  # 6: telemetry
+        SimTask(kind="closed", label="closed", seed=1,     # 7: closed loop
+                warmup=WARMUP, measure=MEASURE,
+                design=design_by_name("TB-DOR")),
+    ]
+    units = dict()
+    for members, backend in _plan_units(tasks, range(len(tasks)), fleet=4):
+        units[members] = backend
+    assert units[(0, 1, 2)] is None          # one fleet of the compatibles
+    assert units[(3,)] == "batched"          # hot point: solo batched
+    assert units[(4,)] == "batched"          # singleton group: solo batched
+    assert units[(5,)] == "batched"
+    assert units[(6,)] is None               # telemetry: plain solo
+    assert units[(7,)] is None               # closed loop: plain solo
+    # Units come back ordered by first member index.
+    ordered = list(_plan_units(tasks, range(len(tasks)), fleet=4))
+    assert [u[0][0] for u in ordered] == sorted(u[0][0] for u in ordered)
+
+
+def test_plan_units_chunks_to_fleet_size():
+    tasks = [_task(0.02, s) for s in range(5)]
+    units = _plan_units(tasks, range(5), fleet=2)
+    assert [m for m, _ in units] == [(0, 1), (2, 3), (4,)]
+    assert units[-1][1] == "batched"         # leftover singleton: solo
+
+
+def test_plan_units_disabled():
+    """``fleet=1`` plans every pending task as a plain solo unit."""
+    tasks = [_task(0.02, s) for s in range(3)]
+    assert _plan_units(tasks, [0, 2], fleet=1) == [((0,), None),
+                                                  ((2,), None)]
+
+
+# -- resolution ------------------------------------------------------------
+
+def test_resolve_fleet(monkeypatch):
+    monkeypatch.delenv("REPRO_FLEET", raising=False)
+    monkeypatch.delenv("REPRO_REFERENCE_STEPPER", raising=False)
+    assert resolve_fleet() == 1
+    assert resolve_fleet(4) == 4
+    monkeypatch.setenv("REPRO_FLEET", "6")
+    assert resolve_fleet() == 6
+    assert resolve_fleet(2) == 2             # explicit beats the env
+    monkeypatch.setenv("REPRO_FLEET", "zero")
+    with pytest.raises(ValueError):
+        resolve_fleet()
+    with pytest.raises(ValueError):
+        resolve_fleet(0)
+
+
+def test_resolve_fleet_reference_override(monkeypatch):
+    """``REPRO_REFERENCE_STEPPER=1`` disables fleeting entirely: fleets
+    need the batched core, and the reference escape hatch must win over
+    every other backend request."""
+    monkeypatch.setenv("REPRO_REFERENCE_STEPPER", "1")
+    monkeypatch.setenv("REPRO_FLEET", "8")
+    assert resolve_fleet() == 1
+    assert resolve_fleet(8) == 1
+
+
+# -- run_tasks integration -------------------------------------------------
+
+def _mixed_tasks():
+    return ([_task(0.02, s) for s in (1, 2, 3)]
+            + [_task(0.05, 4, design_name="Double-CP-CR")]
+            + [_task(0.35, 5)])
+
+
+def test_run_tasks_fleet_bit_identical_serial():
+    tasks = _mixed_tasks()
+    solo = run_tasks(tasks, jobs=1, fleet=1)
+    fleet = run_tasks(tasks, jobs=1, fleet=3)
+    assert [p["result"] for p in fleet] == [p["result"] for p in solo]
+
+
+def test_run_tasks_fleet_bit_identical_pool():
+    tasks = _mixed_tasks()
+    solo = run_tasks(tasks, jobs=1, fleet=1)
+    fleet = run_tasks(tasks, jobs=2, fleet=2)
+    assert [p["result"] for p in fleet] == [p["result"] for p in solo]
+
+
+def test_run_tasks_fleet_env(monkeypatch):
+    """``REPRO_FLEET`` alone turns fleeting on, with identical results."""
+    tasks = [_task(0.02, s) for s in (1, 2)]
+    monkeypatch.delenv("REPRO_FLEET", raising=False)
+    solo = run_tasks(tasks, jobs=1)
+    monkeypatch.setenv("REPRO_FLEET", "2")
+    assert [p["result"] for p in run_tasks(tasks, jobs=1)] == \
+        [p["result"] for p in solo]
+
+
+def test_task_report_fleet_fields():
+    """Fleet members report their unit position; solo tasks report the
+    defaults.  The serve layer forwards ``dataclasses.asdict`` of these
+    reports, so live progress shows members individually."""
+    tasks = _mixed_tasks()
+    reports = []
+    run_tasks(tasks, jobs=1, fleet=4, progress=reports.append)
+    by_index = {r.index: r for r in reports}
+    assert [(by_index[i].fleet_size, by_index[i].fleet_index)
+            for i in range(3)] == [(4, 0), (4, 1), (4, 2)]
+    assert (by_index[4].fleet_size, by_index[4].fleet_index) == (1, 0)
+    record = dataclasses.asdict(by_index[0])
+    assert record["fleet_size"] == 4 and record["fleet_index"] == 0
+
+
+# -- failure attribution ---------------------------------------------------
+
+class _BoomPattern:
+    """Picklable pattern whose first pick raises — a deterministic member
+    failure for the attribution tests."""
+
+    def __init__(self, mc_nodes):
+        pass
+
+    def pick(self, src, rng):
+        raise RuntimeError("kaboom")
+
+
+def _bad_fleet_tasks():
+    tasks = [_task(0.02, s) for s in (1, 2)]
+    tasks.append(SimTask(kind="openloop", label="bad-member", seed=5,
+                         warmup=WARMUP, measure=MEASURE,
+                         design=design_by_name("TB-DOR"),
+                         pattern_factory=_BoomPattern,
+                         pattern_name="boom", rate=0.02))
+    tasks.append(_task(0.02, 6))
+    return tasks
+
+
+@pytest.mark.parametrize("jobs", (1, 2))
+def test_fleet_failure_attributed_to_member(jobs):
+    """A member whose simulation raises inside the lockstep loop is named
+    by label and global task index, with :class:`FleetMemberFailure` in
+    the chain — not blamed on the whole fleet."""
+    with pytest.raises(TaskError) as info:
+        run_tasks(_bad_fleet_tasks(), jobs=jobs, fleet=4)
+    assert info.value.index == 2
+    assert info.value.label == "bad-member"
+    assert "FleetMemberFailure" in str(info.value)
+
+
+def test_fleet_member_failure_pickles():
+    err = FleetMemberFailure(1, "some-task", "RuntimeError: kaboom")
+    clone = pickle.loads(pickle.dumps(err))
+    assert (clone.member, clone.label, str(clone)) == \
+        (1, "some-task", "RuntimeError: kaboom")
+
+
+# -- FleetRunner validation ------------------------------------------------
+
+def test_fleet_runner_rejects_bad_members():
+    with pytest.raises(ValueError, match="empty"):
+        FleetRunner([])
+    used = _open_loop_runner(_task(0.02, 1))
+    used.run(warmup=5, measure=5)
+    with pytest.raises(ValueError, match="freshly built"):
+        FleetRunner([used])
+
+    class FakeTelemetry:
+        profiler = None
+    fresh = _open_loop_runner(_task(0.02, 2))
+    fresh.telemetry = FakeTelemetry()
+    with pytest.raises(ValueError, match="telemetry"):
+        FleetRunner([fresh])

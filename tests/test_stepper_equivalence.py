@@ -1,25 +1,31 @@
-"""Three-way determinism contract of the cycle-core backends.
+"""Four-way determinism contract of the cycle-core backends.
 
-The repo carries three interchangeable cycle cores: the reference
-exhaustive scan (``use_reference_stepper`` / ``REPRO_REFERENCE_STEPPER``),
-the event-driven stepper (wake-scheduled routers, DESIGN.md §13) and the
-batched struct-of-arrays core (``use_batched_stepper`` /
-``REPRO_BATCHED_STEPPER``, DESIGN.md §14).  They must be bit-identical —
-not statistically close — on every design the builder can produce, or a
-result could silently depend on which backend happened to run it.
+The repo carries four interchangeable ways to step a network: the
+reference exhaustive scan (``use_reference_stepper`` /
+``REPRO_REFERENCE_STEPPER``), the event-driven stepper (wake-scheduled
+routers, DESIGN.md §13), the batched struct-of-arrays core
+(``use_batched_stepper`` / ``REPRO_BATCHED_STEPPER``, DESIGN.md §14) and
+the lockstep fleet stepper that batches several independent simulations
+through one shared screen (``repro.noc.fleet`` / ``REPRO_FLEET``,
+DESIGN.md §18).  They must be bit-identical — not statistically close —
+on every design the builder can produce, or a result could silently
+depend on which backend happened to run it.
 
-This module pins that contract three ways:
+This module pins that contract four ways:
 
 * a golden matrix over the design space (baseline DOR, checkerboard
   routing, channel-sliced double network) at low and saturated load, with
   the invariant checker and packet tracer off and on, asserting equal
   result payloads, equal ``NetworkStats`` snapshots and equal final
-  network state dumps for every backend;
+  network state dumps for every backend — including a fleet leg where
+  the cell under test rides in a heterogeneous lockstep fleet;
 * a randomized fuzz sweep (seeds, mesh shapes, injection rates, VC/buffer
-  configurations) comparing batched against reference;
+  configurations) comparing batched — and mixed-shape fleets — against
+  reference;
 * the selection plumbing itself — env-var precedence and the nesting /
   restore behaviour of the ``use_stepper`` context helper — plus the
-  ``audit_event_scheduling`` mirror audit under the batched core.
+  ``audit_event_scheduling`` mirror audit under the batched core and
+  mid-stream under a fleet.
 """
 
 import dataclasses
@@ -30,6 +36,7 @@ import pytest
 
 from repro.core.builder import (build, checked_variant, design_by_name,
                                 open_loop_variant)
+from repro.noc.fleet import FleetRunner
 from repro.noc.invariants import audit_event_scheduling, format_system_state
 from repro.noc.openloop import OpenLoopRunner
 from repro.noc.stats import merge_stats
@@ -103,38 +110,56 @@ def _stats_snapshot(system):
     return snapshot
 
 
-def _open_cell(design_name, rate, backend, *, checked=False, traced=False):
+def _open_member(design_name, rate, *, seed=SEED, checked=False,
+                 traced=False):
+    """Build one open-loop (system, runner, hub) cell without running it
+    — the golden tests run it solo, the fleet legs enlist it in a
+    :class:`FleetRunner`."""
     design = open_loop_variant(design_by_name(design_name))
     if checked:
         design = checked_variant(design, check_interval=32,
                                  watchdog_cycles=20_000)
-    system = build(design, Mesh(6, 6), num_mcs=8, seed=SEED)
-    _select(system, backend)
+    system = build(design, Mesh(6, 6), num_mcs=8, seed=seed)
     hub = None
     if traced:
         hub = TelemetryHub(TelemetrySpec(trace=True))
         hub.attach_network(system)
     runner = OpenLoopRunner(system, system.compute_nodes, system.mc_nodes,
                             UniformManyToFew(system.mc_nodes), rate,
-                            seed=SEED)
-    point = runner.run(warmup=WARMUP, measure=MEASURE)
+                            seed=seed)
+    return system, runner, hub
+
+
+def _cell(system, runner, point):
     return {
         "payload": point.to_json(),
         "stats": _stats_snapshot(system),
         "state": _normalized_state(system),
         "hist": runner._lat_hist.summary(),
-    }, hub
+    }
+
+
+def _open_cell(design_name, rate, backend, *, checked=False, traced=False):
+    system, runner, hub = _open_member(design_name, rate, checked=checked,
+                                       traced=traced)
+    _select(system, backend)
+    point = runner.run(warmup=WARMUP, measure=MEASURE)
+    return _cell(system, runner, point), hub
 
 
 @pytest.mark.parametrize("design_name", DESIGNS)
 @pytest.mark.parametrize("rate", RATES)
-def test_three_way_golden_matrix(design_name, rate):
-    """reference == event == batched on result payload, stats snapshot
-    and final state, with the checker and the tracer off and on.
+def test_four_way_golden_matrix(design_name, rate):
+    """reference == event == batched == fleet on result payload, stats
+    snapshot and final state, with the checker and the tracer off and on.
 
     The instrumented legs run under the batched core (the newest backend;
     the event core's instrumented legs are pinned in test_event_core.py):
-    read-only instrumentation must not perturb any of the three either.
+    read-only instrumentation must not perturb any of the backends either.
+    The fleet leg runs the cell under test inside a heterogeneous
+    lockstep fleet (different sibling designs, rates and seeds) — the
+    planner would only ever fleet low-rate points, but bit-identity must
+    hold at any rate, so both matrix rates get a fleet leg.
     """
     oracle, _ = _open_cell(design_name, rate, "reference")
     for backend in ("event", "batched"):
@@ -145,6 +170,33 @@ def test_three_way_golden_matrix(design_name, rate):
     traced, hub = _open_cell(design_name, rate, "batched", traced=True)
     assert traced == oracle, "packet tracer perturbed the batched core"
     assert hub.tracer.completed, "tracer saw no packets"
+
+    members = [
+        _open_member(design_name, rate),
+        _open_member("TB-DOR", 0.05, seed=SEED + 1),
+        _open_member(design_name, rate, seed=SEED + 2),
+    ]
+    points = FleetRunner([r for _, r, _ in members]).run(
+        warmup=WARMUP, measure=MEASURE)
+    system, runner, _ = members[0]
+    assert _cell(system, runner, points[0]) == oracle, \
+        "fleet member diverged from solo reference"
+
+
+def test_fleet_checker_and_tracer_per_member():
+    """The invariant checker and the packet tracer keep working per fleet
+    member, and perturb nothing: the checked-and-traced member's cell is
+    bit-identical to the solo reference run."""
+    oracle, _ = _open_cell("TB-DOR", 0.30, "reference")
+    members = [
+        _open_member("TB-DOR", 0.30, checked=True, traced=True),
+        _open_member("CP-CR-4VC", 0.02, seed=SEED + 1, checked=True),
+    ]
+    points = FleetRunner([r for _, r, _ in members]).run(
+        warmup=WARMUP, measure=MEASURE)
+    system, runner, hub = members[0]
+    assert _cell(system, runner, points[0]) == oracle
+    assert hub.tracer.completed, "tracer saw no packets in the fleet"
 
 
 @pytest.mark.parametrize("design_name", ("TB-DOR", "Double-CP-CR"))
@@ -222,6 +274,40 @@ def test_fuzz_batched_matches_reference():
             f"seed={seed}")
 
 
+def test_fuzz_fleet_matches_reference():
+    """Heterogeneous lockstep fleets — members mixing design families,
+    mesh shapes, MC counts, rates and seeds inside one fleet — against
+    solo reference runs, bit for bit including final in-flight state.
+
+    The run_tasks planner only ever fleets same-shape, low-rate points;
+    the core must not care, so the fuzz deliberately fleets what the
+    planner never would."""
+    cases = list(_fuzz_cases(16))
+    for lo in range(0, len(cases), 4):
+        chunk = cases[lo:lo + 4]
+        runners = []
+        for design, mesh, num_mcs, rate, seed in chunk:
+            system = build(design, mesh, num_mcs=num_mcs, seed=seed)
+            runners.append(
+                OpenLoopRunner(system, system.compute_nodes,
+                               system.mc_nodes,
+                               UniformManyToFew(system.mc_nodes), rate,
+                               seed=seed))
+        points = FleetRunner(runners).run(warmup=40, measure=100)
+        for (design, mesh, num_mcs, rate, seed), runner, point in zip(
+                chunk, runners, points):
+            ref = _fuzz_run(design, mesh, num_mcs, rate, seed, "reference")
+            got = {
+                "payload": point.to_json(),
+                "stats": _stats_snapshot(runner.network),
+                "state": _normalized_state(runner.network),
+            }
+            assert got == ref, (
+                f"fleet member diverged: {design.name} mesh="
+                f"{mesh.cols}x{mesh.rows} mcs={num_mcs} rate={rate} "
+                f"seed={seed}")
+
+
 # -- selection plumbing ----------------------------------------------------
 
 def test_batched_stepper_env_var(monkeypatch):
@@ -286,6 +372,21 @@ def test_audit_event_scheduling_under_batched():
     for net in system.networks:
         assert net._buffered_flits > 0, "audit must catch a busy network"
         assert audit_event_scheduling(net) == []
+
+
+def test_audit_event_scheduling_under_fleet():
+    """The SoA mirror audit passes mid-stream on every member of a
+    lockstep fleet — adopted pool views must stay cell-for-cell faithful
+    to the authoritative object state while traffic is still in flight."""
+    members = [
+        _open_member("TB-DOR", 0.30),
+        _open_member("Double-CP-CR", 0.30, seed=SEED + 1),
+    ]
+    FleetRunner([r for _, r, _ in members]).run(warmup=50, measure=100)
+    for system, _, _ in members:
+        for net in system.networks:
+            assert net._buffered_flits > 0, "audit must catch a busy network"
+            assert audit_event_scheduling(net) == []
 
 
 # -- histogram / merged-stats plumbing on the batched path -----------------
